@@ -1,0 +1,130 @@
+// rootkit_forensics — a deep dive on the paper's hardest scenario (§5.3-3):
+// the syscall-table-hijacking LKM. Runs one attacked system and compares,
+// side by side, what the traffic-volume baseline sees (Figure 9: only the
+// load spike) against what the eigenmemory+GMM detector sees (Figure 10:
+// the load plus intermittent stealth-phase anomalies synchronized with
+// sha), then drills into *which* GMM pattern the anomalous intervals fall
+// nearest and which cells deviate most — the forensic trail an operator
+// would follow.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "attacks/attacks.hpp"
+#include "common/ascii_plot.hpp"
+#include "pipeline/experiment.hpp"
+#include "sim/system.hpp"
+
+int main() {
+  using namespace mhm;
+
+  sim::SystemConfig config = sim::SystemConfig::paper_default(/*seed=*/1);
+  config.monitor.granularity = 8 * 1024;
+
+  pipeline::ProfilingPlan plan;
+  plan.runs = 4;
+  plan.run_duration = 2 * kSecond;
+
+  AnomalyDetector::Options options;
+  options.pca.components = 9;
+  options.gmm.components = 5;
+  options.gmm.restarts = 5;
+
+  std::printf("Training detector...\n");
+  pipeline::TrainedPipeline pipe =
+      pipeline::train_pipeline(config, plan, options);
+
+  const SimTime interval = config.monitor.interval;
+  attacks::RootkitAttack attack(/*hijack_overhead=*/60 * kMicrosecond);
+  pipeline::ScenarioRun run = pipeline::run_scenario(
+      config, &attack, /*trigger=*/100 * interval,
+      /*duration=*/400 * interval, pipe.detector.get(), /*seed=*/1234);
+
+  // --- view 1: what the volume baseline sees ---
+  LinePlotOptions vol_plot;
+  vol_plot.title = "view 1 — traffic volume (what a volume monitor sees)";
+  vol_plot.height = 12;
+  vol_plot.vlines = {static_cast<double>(run.trigger_interval)};
+  std::fputs(render_line_plot(run.traffic_volumes, vol_plot).c_str(), stdout);
+
+  const TrafficVolumeDetector volume_det =
+      TrafficVolumeDetector::from_trace(pipe.training, 0.005);
+  std::size_t volume_alarms = 0;
+  for (std::size_t i = 0; i < run.maps.size(); ++i) {
+    if (run.maps[i].interval_index > run.trigger_interval + 1) {
+      volume_alarms += volume_det.anomalous(run.traffic_volumes[i]);
+    }
+  }
+  std::printf("volume monitor alarms after the load settles: %zu "
+              "(the stealth phase is invisible in volume terms)\n\n",
+              volume_alarms);
+
+  // --- view 2: what the GMM detector sees ---
+  LinePlotOptions gmm_plot;
+  gmm_plot.title = "view 2 — log10 Pr(M) (what the MHM detector sees)";
+  gmm_plot.height = 14;
+  gmm_plot.hlines = {pipe.theta_1.log10_value};
+  gmm_plot.vlines = {static_cast<double>(run.trigger_interval)};
+  std::fputs(render_line_plot(run.log10_densities, gmm_plot).c_str(), stdout);
+
+  // --- forensics on the flagged intervals ---
+  std::printf("\nForensic drill-down on flagged intervals:\n");
+  sim::System probe_system(config);
+  const auto& kernel = probe_system.kernel();
+
+  // Mean normal map for cell-level differencing.
+  std::vector<double> mean_map(pipe.training.front().cell_count(), 0.0);
+  for (const auto& m : pipe.training) {
+    const auto v = m.as_vector();
+    for (std::size_t c = 0; c < v.size(); ++c) mean_map[c] += v[c];
+  }
+  for (double& v : mean_map) v /= static_cast<double>(pipe.training.size());
+
+  TextTable table({"interval", "phase", "log10 Pr", "nearest pattern",
+                   "most deviant subsystem"});
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < run.maps.size() && shown < 10; ++i) {
+    if (run.verdicts[i].anomalous &&
+        run.maps[i].interval_index > run.trigger_interval + 1) {
+      const auto& map = run.maps[i];
+      // Find the subsystem with the largest absolute cell deviation.
+      double best_dev = 0.0;
+      std::string best_subsystem = "(none)";
+      const auto v = map.as_vector();
+      for (std::size_t c = 0; c < v.size(); ++c) {
+        const double dev = std::abs(v[c] - mean_map[c]);
+        if (dev > best_dev) {
+          const Address addr =
+              config.monitor.base +
+              static_cast<Address>(c) * config.monitor.granularity;
+          const auto* fn = kernel.function_at(addr);
+          if (fn != nullptr) {
+            best_dev = dev;
+            best_subsystem = kernel.subsystems()[fn->subsystem].name;
+          }
+        }
+      }
+      table.add_row({std::to_string(map.interval_index),
+                     std::to_string(map.interval_index % 10),
+                     fmt_double(run.log10_densities[i], 1),
+                     std::to_string(run.verdicts[i].nearest_pattern),
+                     best_subsystem + " (|dev| " + fmt_double(best_dev, 0) +
+                         ")"});
+      ++shown;
+    }
+  }
+  if (shown == 0) {
+    std::printf("  (no stealth-phase intervals flagged in this run)\n");
+  } else {
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("\nReading the trail: flagged intervals cluster on the "
+                "hyperperiod phase where sha's (delayed) read bursts land, "
+                "and the deviant cells sit in the scheduler/timing paths — "
+                "the hijack adds latency to every read, shifting when tasks "
+                "run rather than what kernel code they touch. A timing-only "
+                "perturbation is exactly what a syscall-table detour looks "
+                "like from inside the monitored region.\n");
+  }
+  return 0;
+}

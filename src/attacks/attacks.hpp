@@ -1,0 +1,103 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/system.hpp"
+#include "sim/task.hpp"
+
+namespace mhm::attacks {
+
+/// An attack scenario arms itself on a System before the run starts and
+/// manifests at `trigger_time`. Everything the attack does goes through the
+/// System's runtime-manipulation hooks, i.e. the same kernel paths a real
+/// attack would exercise.
+class AttackScenario {
+ public:
+  virtual ~AttackScenario() = default;
+
+  /// Human-readable scenario name (used by benches and EXPERIMENTS.md).
+  virtual std::string name() const = 0;
+
+  /// Install the attack's scheduled actions on `system`.
+  virtual void arm(sim::System& system, SimTime trigger_time) = 0;
+
+  /// The interval index (for interval length `interval`) at which the
+  /// attack manifests — benches mark this in their plots.
+  static std::uint64_t trigger_interval(SimTime trigger_time,
+                                        SimTime interval) {
+    return trigger_time / interval;
+  }
+};
+
+/// §5.3-1 Application Addition/Deletion: a new application (qsort, 6 ms /
+/// 30 ms) is launched mid-run via the kernel's fork+exec path and later
+/// (optionally) exits. The abnormality is both the launch burst and the
+/// persistent change in kernel-service composition while qsort runs.
+class AppAdditionAttack final : public AttackScenario {
+ public:
+  /// `exit_after` — how long the rogue app runs before exiting
+  /// (0 = never exits).
+  explicit AppAdditionAttack(sim::TaskSpec app = sim::qsort_task_spec(),
+                             SimTime exit_after = 0);
+
+  std::string name() const override { return "app_addition"; }
+  void arm(sim::System& system, SimTime trigger_time) override;
+
+  const sim::TaskSpec& app() const { return app_; }
+
+ private:
+  sim::TaskSpec app_;
+  SimTime exit_after_;
+};
+
+/// §5.3-2 Shellcode Execution: a shellcode injected into a victim task
+/// (bitcount) runs inside one of its jobs — it disables ASLR via
+/// personality(2), makes its page executable, spawns a shell and thereby
+/// kills the host process. After the trigger the victim's periodic kernel
+/// footprint disappears and a shell process appears.
+class ShellcodeAttack final : public AttackScenario {
+ public:
+  explicit ShellcodeAttack(std::string victim = "bitcount",
+                           bool spawn_shell = true);
+
+  std::string name() const override { return "shellcode"; }
+  void arm(sim::System& system, SimTime trigger_time) override;
+
+  const std::string& victim() const { return victim_; }
+
+ private:
+  std::string victim_;
+  bool spawn_shell_;
+};
+
+/// §5.3-3 Kernel Rootkit (LKM, syscall-table hijack): at the trigger the
+/// module loader runs (visible burst); afterwards every read(2) is detoured
+/// through a handler living in module space — *outside* the monitored .text
+/// region — which only adds latency before invoking the original handler.
+/// Post-load traffic volume stays normal (Figure 9); only the timing shift
+/// it induces on read-heavy tasks (sha) perturbs the MHMs (Figure 10).
+class RootkitAttack final : public AttackScenario {
+ public:
+  /// `hijack_overhead` — extra latency the malicious wrapper adds to every
+  /// read syscall (the "reads the returned buffer" work of the paper's LKM).
+  explicit RootkitAttack(SimTime hijack_overhead = 40 * kMicrosecond,
+                         std::string hijacked_service = "sys_read");
+
+  std::string name() const override { return "rootkit"; }
+  void arm(sim::System& system, SimTime trigger_time) override;
+
+  SimTime hijack_overhead() const { return hijack_overhead_; }
+
+ private:
+  SimTime hijack_overhead_;
+  std::string hijacked_service_;
+};
+
+/// Convenience: construct a scenario by name ("app_addition", "shellcode",
+/// "rootkit"); throws ConfigError for unknown names.
+std::unique_ptr<AttackScenario> make_scenario(const std::string& name);
+
+}  // namespace mhm::attacks

@@ -1,0 +1,192 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mhm {
+
+namespace {
+
+/// Shade ramp from cold to hot.
+constexpr std::string_view kShades = " .:-=+*#%@";
+
+char shade_for(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(t * static_cast<double>(kShades.size() - 1) + 0.5);
+  return kShades[idx];
+}
+
+}  // namespace
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string render_line_plot(const std::vector<double>& ys,
+                             const LinePlotOptions& options) {
+  if (ys.empty()) return "(empty series)\n";
+  MHM_ASSERT(options.width >= 10 && options.height >= 4,
+             "render_line_plot: plot area too small");
+
+  // Determine finite y-range including reference lines.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double y : ys) {
+    if (std::isfinite(y)) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+  }
+  for (double h : options.hlines) {
+    lo = std::min(lo, h);
+    hi = std::max(hi, h);
+  }
+  if (!std::isfinite(lo)) {
+    lo = -1.0;
+    hi = 1.0;
+  }
+  if (hi - lo < 1e-12) {
+    hi = lo + 1.0;
+  }
+
+  const std::size_t w = options.width;
+  const std::size_t h = options.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  auto row_for = [&](double y) -> std::size_t {
+    const double t = (y - lo) / (hi - lo);
+    const auto r = static_cast<std::int64_t>(
+        std::llround((1.0 - t) * static_cast<double>(h - 1)));
+    return static_cast<std::size_t>(std::clamp<std::int64_t>(r, 0, static_cast<std::int64_t>(h - 1)));
+  };
+
+  // Reference lines first so data overdraws them.
+  for (double ref : options.hlines) {
+    const std::size_t r = row_for(ref);
+    for (std::size_t c = 0; c < w; ++c) grid[r][c] = '-';
+  }
+  for (double x : options.vlines) {
+    if (x < 0.0 || x >= static_cast<double>(ys.size())) continue;
+    const auto c = static_cast<std::size_t>(
+        x / static_cast<double>(ys.size()) * static_cast<double>(w));
+    for (std::size_t r = 0; r < h; ++r) {
+      if (c < w) grid[r][c] = '|';
+    }
+  }
+
+  // Data: average samples that fall into the same column.
+  std::vector<double> col_sum(w, 0.0);
+  std::vector<std::size_t> col_n(w, 0);
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const auto c = static_cast<std::size_t>(
+        static_cast<double>(i) / static_cast<double>(ys.size()) * static_cast<double>(w));
+    double y = ys[i];
+    if (!std::isfinite(y)) y = lo;
+    col_sum[std::min(c, w - 1)] += y;
+    ++col_n[std::min(c, w - 1)];
+  }
+  for (std::size_t c = 0; c < w; ++c) {
+    if (col_n[c] == 0) continue;
+    const double y = col_sum[c] / static_cast<double>(col_n[c]);
+    grid[row_for(y)][c] = '*';
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  const int label_w = 10;
+  for (std::size_t r = 0; r < h; ++r) {
+    // Y-axis tick labels at top, middle, bottom.
+    if (r == 0 || r == h - 1 || r == h / 2) {
+      const double frac = 1.0 - static_cast<double>(r) / static_cast<double>(h - 1);
+      os << std::setw(label_w) << fmt_double(lo + frac * (hi - lo), 1);
+    } else {
+      os << std::string(label_w, ' ');
+    }
+    os << " |" << grid[r] << '\n';
+  }
+  os << std::string(label_w + 1, ' ') << '+' << std::string(w, '-') << '\n';
+  os << std::string(label_w + 2, ' ') << "0";
+  const std::string xmax = std::to_string(ys.size() - 1);
+  if (w > xmax.size() + 2) os << std::string(w - xmax.size() - 1, ' ') << xmax;
+  os << '\n';
+  if (!options.x_label.empty()) {
+    os << std::string(label_w + 2, ' ') << options.x_label << '\n';
+  }
+  return os.str();
+}
+
+std::string render_heat_map(const std::vector<std::uint64_t>& cells,
+                            const HeatMapPlotOptions& options) {
+  if (cells.empty()) return "(empty heat map)\n";
+  MHM_ASSERT(options.width > 0 && options.rows > 0,
+             "render_heat_map: invalid geometry");
+  const std::size_t n_bins = options.width * options.rows;
+
+  // Re-bin cells into the display grid by summing.
+  std::vector<double> bins(n_bins, 0.0);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto b = static_cast<std::size_t>(
+        static_cast<double>(i) / static_cast<double>(cells.size()) * static_cast<double>(n_bins));
+    bins[std::min(b, n_bins - 1)] += static_cast<double>(cells[i]);
+  }
+  double peak = 0.0;
+  for (double& b : bins) {
+    if (options.log_scale) b = std::log1p(b);
+    peak = std::max(peak, b);
+  }
+  if (peak == 0.0) peak = 1.0;
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  os << '+' << std::string(options.width, '-') << "+\n";
+  for (std::size_t r = 0; r < options.rows; ++r) {
+    os << '|';
+    for (std::size_t c = 0; c < options.width; ++c) {
+      os << shade_for(bins[r * options.width + c] / peak);
+    }
+    os << "|\n";
+  }
+  os << '+' << std::string(options.width, '-') << "+\n";
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MHM_ASSERT(cells.size() == headers_.size(),
+             "TextTable: row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left << row[c] << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace mhm

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mhm {
+
+/// Text rendering helpers so benches can print paper-figure-shaped output
+/// (time series of log densities, 2-D heat maps) directly to the terminal.
+
+struct LinePlotOptions {
+  std::size_t width = 100;   ///< Plot area width in characters.
+  std::size_t height = 20;   ///< Plot area height in characters.
+  std::string title;
+  std::string y_label;
+  std::string x_label;
+  /// Horizontal reference lines (e.g. detection thresholds θ), drawn as '-'.
+  std::vector<double> hlines;
+  /// Vertical markers (e.g. attack injection interval), drawn as '|'.
+  std::vector<double> vlines;
+};
+
+/// Render `ys` (x = index) as an ASCII scatter/line chart. Non-finite values
+/// are clamped to the plot bottom (matches how the figures saturate).
+std::string render_line_plot(const std::vector<double>& ys,
+                             const LinePlotOptions& options);
+
+struct HeatMapPlotOptions {
+  std::size_t width = 64;  ///< Cells are re-binned to this many columns...
+  std::size_t rows = 16;   ///< ...wrapped over this many rows (row-major).
+  std::string title;
+  bool log_scale = true;   ///< log1p-compress counts before shading.
+};
+
+/// Render a 1-D vector of cell counts as a 2-D shaded character map, the way
+/// Figure 1 folds the kernel .text MHM vector into a 2-D image.
+std::string render_heat_map(const std::vector<std::uint64_t>& cells,
+                            const HeatMapPlotOptions& options);
+
+/// Simple fixed-width table formatter for bench summaries.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper: format a double with the given precision.
+std::string fmt_double(double v, int precision = 3);
+
+}  // namespace mhm

@@ -1,0 +1,84 @@
+#include "common/csv.hpp"
+
+#include <iomanip>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace mhm {
+
+std::string csv_escape(std::string_view value) {
+  const bool needs_quote =
+      value.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(value);
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw ConfigError("CsvWriter: cannot open " + path);
+  out_ << std::setprecision(std::numeric_limits<double>::max_digits10);
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  row();
+  for (const auto& c : columns) col(c);
+}
+
+CsvWriter& CsvWriter::row() {
+  if (any_row_) out_ << '\n';
+  any_row_ = true;
+  row_has_cols_ = false;
+  return *this;
+}
+
+void CsvWriter::separator() {
+  if (row_has_cols_) out_ << ',';
+  row_has_cols_ = true;
+}
+
+CsvWriter& CsvWriter::col(std::string_view value) {
+  separator();
+  out_ << csv_escape(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::col(double value) {
+  separator();
+  out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::col(std::uint64_t value) {
+  separator();
+  out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::col(std::int64_t value) {
+  separator();
+  out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::col(int value) {
+  separator();
+  out_ << value;
+  return *this;
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) {
+    if (any_row_) out_ << '\n';
+    out_.close();
+  }
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace mhm

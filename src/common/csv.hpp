@@ -1,0 +1,47 @@
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mhm {
+
+/// Minimal CSV writer used by benches and examples to dump the series that
+/// regenerate the paper's figures. Values are written with full double
+/// precision; strings containing separators/quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws ConfigError on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write a header row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Start a new row; then call col() repeatedly.
+  CsvWriter& row();
+  CsvWriter& col(std::string_view value);
+  CsvWriter& col(double value);
+  CsvWriter& col(std::uint64_t value);  // also covers std::size_t on LP64
+  CsvWriter& col(std::int64_t value);
+  CsvWriter& col(int value);
+
+  /// Flush and close; also called by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void separator();
+  std::ofstream out_;
+  bool row_has_cols_ = false;
+  bool any_row_ = false;
+};
+
+/// Quote a CSV field if needed.
+std::string csv_escape(std::string_view value);
+
+}  // namespace mhm

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mhm {
+
+/// Base class for all errors thrown by the MHM library.
+///
+/// Configuration mistakes (bad granularity, empty training set, ...) throw a
+/// subclass of `Error`. Internal invariant violations use MHM_ASSERT, which
+/// throws `LogicError` so tests can exercise failure paths deterministically
+/// instead of aborting the process.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user-supplied configuration or argument.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Numerical failure (eigensolver did not converge, singular matrix, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Broken internal invariant; indicates a bug in the library itself.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+/// Always-on assertion that throws LogicError (never disabled by NDEBUG):
+/// hardware/simulator invariants are part of the model's contract.
+#define MHM_ASSERT(expr, msg)                                         \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::mhm::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                 \
+  } while (false)
+
+}  // namespace mhm

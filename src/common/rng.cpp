@@ -1,0 +1,155 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace mhm {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// splitmix64: seeds the xoshiro state from a single value.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) {
+  // Mix the stream id into fresh entropy drawn from this stream.
+  std::uint64_t base = (*this)() ^ (stream_id * 0xD2B74407B1CE6E93ull);
+  return Rng(base);
+}
+
+double Rng::uniform() {
+  // 53 top bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MHM_ASSERT(lo <= hi, "uniform: lo must be <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  MHM_ASSERT(lo <= hi, "uniform_int: lo must be <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  MHM_ASSERT(stddev >= 0.0, "normal: stddev must be non-negative");
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal_jitter(double sigma) {
+  MHM_ASSERT(sigma >= 0.0, "lognormal_jitter: sigma must be non-negative");
+  return std::exp(sigma * normal());
+}
+
+double Rng::exponential(double rate) {
+  MHM_ASSERT(rate > 0.0, "exponential: rate must be positive");
+  double u = 0.0;
+  while (u <= 1e-300) u = uniform();
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  MHM_ASSERT(mean >= 0.0, "poisson: mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's method.
+    const double limit = std::exp(-mean);
+    double p = 1.0;
+    std::uint64_t k = 0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // large access-count draws in the workload generator.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+  MHM_ASSERT(!weights.empty(), "discrete: weights must be non-empty");
+  double total = 0.0;
+  for (double w : weights) {
+    MHM_ASSERT(w >= 0.0, "discrete: weights must be non-negative");
+    total += w;
+  }
+  MHM_ASSERT(total > 0.0, "discrete: at least one weight must be positive");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: fell off the end
+}
+
+bool Rng::bernoulli(double p) {
+  MHM_ASSERT(p >= 0.0 && p <= 1.0, "bernoulli: p must be in [0,1]");
+  return uniform() < p;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j =
+        static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+}  // namespace mhm

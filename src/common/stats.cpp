@@ -1,0 +1,205 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mhm {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::mean() const {
+  MHM_ASSERT(n_ > 0, "RunningStats::mean on empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  MHM_ASSERT(n_ > 0, "RunningStats::variance on empty accumulator");
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  MHM_ASSERT(n_ > 0, "RunningStats::min on empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  MHM_ASSERT(n_ > 0, "RunningStats::max on empty accumulator");
+  return max_;
+}
+
+double quantile(std::vector<double> values, double p) {
+  if (values.empty()) throw ConfigError("quantile: empty sample");
+  if (p < 0.0 || p > 1.0) throw ConfigError("quantile: p must be in [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = p * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double mean_of(const std::vector<double>& values) {
+  if (values.empty()) throw ConfigError("mean_of: empty sample");
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double pearson_correlation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw ConfigError("pearson_correlation: size mismatch or empty input");
+  }
+  const double ma = mean_of(a);
+  const double mb = mean_of(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sab += (a[i] - ma) * (b[i] - mb);
+    saa += (a[i] - ma) * (a[i] - ma);
+    sbb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (saa == 0.0 || sbb == 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+double ConfusionCounts::true_positive_rate() const {
+  const auto denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionCounts::false_positive_rate() const {
+  const auto denom = false_positives + true_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(false_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionCounts::precision() const {
+  const auto denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionCounts::accuracy() const {
+  const auto total =
+      true_positives + false_positives + true_negatives + false_negatives;
+  return total == 0 ? 0.0
+                    : static_cast<double>(true_positives + true_negatives) /
+                          static_cast<double>(total);
+}
+
+ConfusionCounts evaluate_threshold(const std::vector<double>& normal_scores,
+                                   const std::vector<double>& anomaly_scores,
+                                   double threshold) {
+  ConfusionCounts c;
+  for (double s : normal_scores) {
+    if (s < threshold) {
+      ++c.false_positives;
+    } else {
+      ++c.true_negatives;
+    }
+  }
+  for (double s : anomaly_scores) {
+    if (s < threshold) {
+      ++c.true_positives;
+    } else {
+      ++c.false_negatives;
+    }
+  }
+  return c;
+}
+
+double roc_auc(const std::vector<double>& normal_scores,
+               const std::vector<double>& anomaly_scores) {
+  if (normal_scores.empty() || anomaly_scores.empty()) {
+    throw ConfigError("roc_auc: both classes must be non-empty");
+  }
+  // AUC = P(anomaly score < normal score) + 0.5 P(tie), lower = anomalous.
+  // Rank-based computation: sort the pooled sample, sum anomaly ranks.
+  struct Tagged {
+    double score;
+    bool anomaly;
+  };
+  std::vector<Tagged> pool;
+  pool.reserve(normal_scores.size() + anomaly_scores.size());
+  for (double s : normal_scores) pool.push_back({s, false});
+  for (double s : anomaly_scores) pool.push_back({s, true});
+  std::sort(pool.begin(), pool.end(),
+            [](const Tagged& x, const Tagged& y) { return x.score < y.score; });
+  // Average ranks over ties.
+  double anomaly_rank_sum = 0.0;
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    std::size_t j = i;
+    while (j < pool.size() && pool[j].score == pool[i].score) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j - 1)) / 2.0 + 1.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (pool[k].anomaly) anomaly_rank_sum += avg_rank;
+    }
+    i = j;
+  }
+  const double na = static_cast<double>(anomaly_scores.size());
+  const double nn = static_cast<double>(normal_scores.size());
+  const double u = anomaly_rank_sum - na * (na + 1.0) / 2.0;
+  // Low anomaly ranks (small scores) mean good detection -> invert U.
+  return 1.0 - u / (na * nn);
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& values,
+                                   double lo, double hi, std::size_t bins) {
+  if (bins == 0) throw ConfigError("histogram: bins must be positive");
+  if (!(lo < hi)) throw ConfigError("histogram: lo must be < hi");
+  std::vector<std::size_t> h(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : values) {
+    double idx = (v - lo) / width;
+    std::size_t b;
+    if (idx < 0.0) {
+      b = 0;
+    } else if (idx >= static_cast<double>(bins)) {
+      b = bins - 1;
+    } else {
+      b = static_cast<std::size_t>(idx);
+    }
+    ++h[b];
+  }
+  return h;
+}
+
+}  // namespace mhm

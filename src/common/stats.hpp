@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mhm {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-quantile of `values` with linear interpolation between order statistics
+/// (the "type 7" estimator). `p` must be in [0, 1]. Does not modify input.
+///
+/// The paper's threshold θ_p is the p-quantile of validation-set densities
+/// (§5.2): θ_{0.5} means p = 0.005.
+double quantile(std::vector<double> values, double p);
+
+/// Mean of a vector; throws ConfigError if empty.
+double mean_of(const std::vector<double>& values);
+
+/// Pearson correlation of two equally sized vectors.
+double pearson_correlation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Binary-classification counts at a fixed decision threshold.
+struct ConfusionCounts {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t true_negatives = 0;
+  std::size_t false_negatives = 0;
+
+  double true_positive_rate() const;   ///< a.k.a. detection rate / recall
+  double false_positive_rate() const;
+  double precision() const;
+  double accuracy() const;
+};
+
+/// Count detector outcomes. `anomaly_scores` are *lower-is-more-anomalous*
+/// (log densities); a sample is flagged anomalous when score < threshold.
+ConfusionCounts evaluate_threshold(const std::vector<double>& normal_scores,
+                                   const std::vector<double>& anomaly_scores,
+                                   double threshold);
+
+/// Area under the ROC curve for lower-is-more-anomalous scores, computed by
+/// the rank statistic (equivalent to the Mann–Whitney U). 1.0 = perfect
+/// separation, 0.5 = chance.
+double roc_auc(const std::vector<double>& normal_scores,
+               const std::vector<double>& anomaly_scores);
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets; out-of-range
+/// samples clamp to the first/last bucket.
+std::vector<std::size_t> histogram(const std::vector<double>& values,
+                                   double lo, double hi, std::size_t bins);
+
+}  // namespace mhm

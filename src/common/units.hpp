@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mhm {
+
+/// Simulated time in nanoseconds. The discrete-event simulator, the
+/// Memometer interval timer and the scheduler all share this clock.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Virtual address on the monitored core. The paper monitors the kernel
+/// logical address space (linearly mapped), so a single 64-bit integer
+/// suffices for both virtual and physical views.
+using Address = std::uint64_t;
+
+/// Convenience literals: 10 * mhm::kMillisecond etc. are used throughout.
+constexpr SimTime ms_to_ns(std::uint64_t ms) { return ms * kMillisecond; }
+constexpr SimTime us_to_ns(std::uint64_t us) { return us * kMicrosecond; }
+
+/// True iff `x` is a power of two (and nonzero).
+constexpr bool is_power_of_two(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x > 0.
+constexpr unsigned log2_floor(std::uint64_t x) {
+  unsigned r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+}  // namespace mhm

@@ -1,0 +1,26 @@
+#include "core/alarm_filter.hpp"
+
+namespace mhm {
+
+AlarmFilter::AlarmFilter(std::size_t k, std::size_t n) : k_(k), n_(n) {
+  if (k == 0 || n == 0 || k > n) {
+    throw ConfigError("AlarmFilter: requires 1 <= k <= n");
+  }
+}
+
+bool AlarmFilter::feed(bool interval_anomalous) {
+  history_.push_back(interval_anomalous);
+  count_ += interval_anomalous;
+  if (history_.size() > n_) {
+    count_ -= history_.front();
+    history_.pop_front();
+  }
+  return count_ >= k_;
+}
+
+void AlarmFilter::reset() {
+  history_.clear();
+  count_ = 0;
+}
+
+}  // namespace mhm

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace mhm {
+
+/// Temporal k-of-n alarm voting.
+///
+/// §5.5 notes that bursty-but-legitimate activity can raise isolated false
+/// positives. Real attacks in the paper's evaluation (app addition,
+/// shellcode, rootkit stealth phase) depress densities over *runs* of
+/// intervals, while calibration noise produces isolated dips. Requiring k
+/// anomalous verdicts within the last n intervals trades a bounded amount
+/// of detection latency (at most n-1 intervals) for a sharply lower
+/// false-alarm rate: with per-interval FP rate p, the filtered rate is
+/// roughly C(n,k) p^k.
+class AlarmFilter {
+ public:
+  /// Requires 1 <= k <= n. k = n = 1 is a transparent pass-through.
+  AlarmFilter(std::size_t k, std::size_t n);
+
+  /// Feed one per-interval verdict; returns the filtered alarm decision.
+  bool feed(bool interval_anomalous);
+
+  /// Forget all history (e.g. after a recovery action).
+  void reset();
+
+  std::size_t window() const { return n_; }
+  std::size_t required() const { return k_; }
+  /// Anomalous verdicts currently inside the window.
+  std::size_t current_count() const { return count_; }
+
+ private:
+  std::size_t k_;
+  std::size_t n_;
+  std::deque<bool> history_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mhm

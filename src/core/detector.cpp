@@ -1,0 +1,177 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace mhm {
+
+ThresholdCalibrator::ThresholdCalibrator(std::vector<double> validation_log10)
+    : scores_(std::move(validation_log10)) {
+  if (scores_.empty()) {
+    throw ConfigError("ThresholdCalibrator: empty validation set");
+  }
+}
+
+Threshold ThresholdCalibrator::at(double p) const {
+  if (p <= 0.0 || p >= 1.0) {
+    throw ConfigError("ThresholdCalibrator::at: p must be in (0,1)");
+  }
+  return Threshold{.p = p, .log10_value = quantile(scores_, p)};
+}
+
+AnomalyDetector::AnomalyDetector(Eigenmemory pca, Gmm gmm,
+                                 ThresholdCalibrator calibrator,
+                                 double primary_p)
+    : pca_(std::move(pca)),
+      gmm_(std::move(gmm)),
+      calibrator_(std::move(calibrator)),
+      primary_(calibrator_.at(primary_p)) {}
+
+AnomalyDetector AnomalyDetector::assemble(Eigenmemory pca, Gmm gmm,
+                                          ThresholdCalibrator calibrator,
+                                          double primary_p) {
+  if (gmm.dimension() != pca.components()) {
+    throw ConfigError(
+        "AnomalyDetector::assemble: GMM dimension does not match the "
+        "eigenmemory count");
+  }
+  return AnomalyDetector(std::move(pca), std::move(gmm),
+                         std::move(calibrator), primary_p);
+}
+
+AnomalyDetector AnomalyDetector::train(
+    const std::vector<std::vector<double>>& training,
+    const std::vector<std::vector<double>>& validation,
+    const Options& options) {
+  if (training.empty()) {
+    throw ConfigError("AnomalyDetector::train: empty training set");
+  }
+  if (validation.empty()) {
+    throw ConfigError("AnomalyDetector::train: empty validation set");
+  }
+  Eigenmemory pca = Eigenmemory::fit(training, options.pca);
+  const auto reduced = pca.project_all(training);
+  Gmm gmm = Gmm::fit(reduced, options.gmm);
+
+  std::vector<double> validation_scores;
+  validation_scores.reserve(validation.size());
+  for (const auto& v : validation) {
+    validation_scores.push_back(gmm.log10_density(pca.project(v)));
+  }
+  return AnomalyDetector(std::move(pca), std::move(gmm),
+                         ThresholdCalibrator(std::move(validation_scores)),
+                         options.primary_p);
+}
+
+AnomalyDetector AnomalyDetector::train(const HeatMapTrace& training,
+                                       const HeatMapTrace& validation,
+                                       const Options& options) {
+  std::vector<std::vector<double>> train_raw;
+  train_raw.reserve(training.size());
+  for (const auto& m : training) train_raw.push_back(m.as_vector());
+  std::vector<std::vector<double>> valid_raw;
+  valid_raw.reserve(validation.size());
+  for (const auto& m : validation) valid_raw.push_back(m.as_vector());
+  return train(train_raw, valid_raw, options);
+}
+
+double AnomalyDetector::score(const std::vector<double>& raw) const {
+  return gmm_.log10_density(pca_.project(raw));
+}
+
+Verdict AnomalyDetector::analyze(const std::vector<double>& raw,
+                                 std::uint64_t interval_index) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto reduced = pca_.project(raw);
+  const double log10_density = gmm_.log10_density(reduced);
+  const std::size_t pattern = gmm_.classify(reduced);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Verdict v;
+  v.interval_index = interval_index;
+  v.log10_density = log10_density;
+  v.anomalous = log10_density < primary_.log10_value;
+  v.nearest_pattern = pattern;
+  v.analysis_time = std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
+  timing_.add(static_cast<double>(v.analysis_time.count()));
+  return v;
+}
+
+Verdict AnomalyDetector::analyze(const HeatMap& map) const {
+  return analyze(map.as_vector(), map.interval_index);
+}
+
+TrafficVolumeDetector::TrafficVolumeDetector(
+    const std::vector<double>& normal_volumes, double p, double margin) {
+  if (normal_volumes.empty()) {
+    throw ConfigError("TrafficVolumeDetector: empty calibration set");
+  }
+  if (p <= 0.0 || p >= 0.5) {
+    throw ConfigError("TrafficVolumeDetector: p must be in (0, 0.5)");
+  }
+  const double q_lo = quantile(normal_volumes, p);
+  const double q_hi = quantile(normal_volumes, 1.0 - p);
+  const double iqr = quantile(normal_volumes, 0.75) -
+                     quantile(normal_volumes, 0.25);
+  lower_ = q_lo - margin * iqr;
+  upper_ = q_hi + margin * iqr;
+}
+
+TrafficVolumeDetector TrafficVolumeDetector::from_trace(
+    const HeatMapTrace& normal, double p, double margin) {
+  std::vector<double> volumes;
+  volumes.reserve(normal.size());
+  for (const auto& m : normal) {
+    volumes.push_back(static_cast<double>(m.total_accesses()));
+  }
+  return TrafficVolumeDetector(volumes, p, margin);
+}
+
+bool TrafficVolumeDetector::anomalous(double volume) const {
+  return volume < lower_ || volume > upper_;
+}
+
+bool TrafficVolumeDetector::anomalous(const HeatMap& map) const {
+  return anomalous(static_cast<double>(map.total_accesses()));
+}
+
+NearestNeighborDetector::NearestNeighborDetector(
+    std::vector<std::vector<double>> training,
+    const std::vector<std::vector<double>>& validation, double p)
+    : training_(std::move(training)) {
+  if (training_.empty()) {
+    throw ConfigError("NearestNeighborDetector: empty training set");
+  }
+  if (validation.empty()) {
+    throw ConfigError("NearestNeighborDetector: empty validation set");
+  }
+  std::vector<double> distances;
+  distances.reserve(validation.size());
+  for (const auto& v : validation) distances.push_back(nearest_distance(v));
+  // Large distance = anomalous, so the threshold sits at the (1-p) quantile.
+  threshold_ = quantile(distances, 1.0 - p);
+}
+
+double NearestNeighborDetector::nearest_distance(
+    const std::vector<double>& x) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& t : training_) {
+    best = std::min(best, linalg::squared_distance(x, t));
+  }
+  return std::sqrt(best);
+}
+
+bool NearestNeighborDetector::anomalous(const std::vector<double>& x) const {
+  return nearest_distance(x) > threshold_;
+}
+
+std::size_t NearestNeighborDetector::storage_bytes() const {
+  return training_.size() *
+         (training_.empty() ? 0 : training_.front().size()) * sizeof(double);
+}
+
+}  // namespace mhm

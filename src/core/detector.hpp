@@ -1,0 +1,173 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/gmm.hpp"
+#include "core/heatmap.hpp"
+#include "core/pca.hpp"
+
+namespace mhm {
+
+/// Detection threshold θ_p (paper §5.2): the p-quantile of the log densities
+/// of a held-out set of *normal* MHMs. The expected false-positive rate is p.
+/// The figures draw θ_{0.5} (p = 0.005) and θ_1 (p = 0.01).
+struct Threshold {
+  double p = 0.01;          ///< Quantile level (e.g. 0.005 for θ_{0.5}).
+  double log10_value = 0.0; ///< Threshold on log10 Pr(M).
+};
+
+/// Calibrates one or more θ_p thresholds from validation log-densities.
+class ThresholdCalibrator {
+ public:
+  /// `validation_log10` — log10 densities of held-out normal MHMs.
+  explicit ThresholdCalibrator(std::vector<double> validation_log10);
+
+  /// θ at quantile p (p in (0,1)).
+  Threshold at(double p) const;
+
+  /// Shorthands used throughout the evaluation.
+  Threshold theta_05() const { return at(0.005); }  ///< θ_{0.5}
+  Threshold theta_1() const { return at(0.01); }    ///< θ_1
+
+  const std::vector<double>& validation_scores() const { return scores_; }
+
+ private:
+  std::vector<double> scores_;
+};
+
+/// Verdict for one analyzed MHM.
+struct Verdict {
+  std::uint64_t interval_index = 0;
+  double log10_density = 0.0;
+  bool anomalous = false;          ///< Against the primary threshold.
+  std::size_t nearest_pattern = 0; ///< Most responsible GMM component.
+  std::chrono::nanoseconds analysis_time{0};  ///< Secure-core compute time.
+};
+
+/// The complete learning + detection pipeline of the paper (§4):
+/// eigenmemory projection -> GMM density -> threshold test. The secure core
+/// holds one of these and feeds it every completed MHM.
+class AnomalyDetector {
+ public:
+  struct Options {
+    Eigenmemory::Options pca;  ///< Defaults: retain 99.99 % variance.
+    Gmm::Options gmm;          ///< Defaults: J = 5, 10 restarts.
+    double primary_p = 0.01;   ///< Threshold quantile for verdicts (θ_1).
+  };
+
+  /// Train from normal-behaviour maps and calibrate thresholds on a second,
+  /// disjoint set of normal maps.
+  static AnomalyDetector train(const HeatMapTrace& training,
+                               const HeatMapTrace& validation,
+                               const Options& options);
+  static AnomalyDetector train(const HeatMapTrace& training,
+                               const HeatMapTrace& validation) {
+    return train(training, validation, Options{});
+  }
+
+  /// Same, over raw vectors.
+  static AnomalyDetector train(
+      const std::vector<std::vector<double>>& training,
+      const std::vector<std::vector<double>>& validation,
+      const Options& options);
+  static AnomalyDetector train(
+      const std::vector<std::vector<double>>& training,
+      const std::vector<std::vector<double>>& validation) {
+    return train(training, validation, Options{});
+  }
+
+  /// Analyze one MHM: project, score, compare against the primary threshold.
+  /// Timed — `Verdict::analysis_time` is the wall-clock cost of projection +
+  /// density evaluation (the §5.4 measurement).
+  Verdict analyze(const HeatMap& map) const;
+  Verdict analyze(const std::vector<double>& raw,
+                  std::uint64_t interval_index = 0) const;
+
+  /// Score only (log10 density), untimed.
+  double score(const std::vector<double>& raw) const;
+
+  const Eigenmemory& eigenmemory() const { return pca_; }
+  const Gmm& gmm() const { return gmm_; }
+  const ThresholdCalibrator& thresholds() const { return calibrator_; }
+  Threshold primary_threshold() const { return primary_; }
+
+  /// Aggregate analysis-time statistics over all analyze() calls.
+  const RunningStats& analysis_time_stats() const { return timing_; }
+  void reset_timing() { timing_ = RunningStats(); }
+
+  /// Reassemble from previously trained parts (deserialization): dimension
+  /// compatibility between the PCA output and the GMM is validated.
+  static AnomalyDetector assemble(Eigenmemory pca, Gmm gmm,
+                                  ThresholdCalibrator calibrator,
+                                  double primary_p);
+
+ private:
+  AnomalyDetector(Eigenmemory pca, Gmm gmm, ThresholdCalibrator calibrator,
+                  double primary_p);
+
+  Eigenmemory pca_;
+  Gmm gmm_;
+  ThresholdCalibrator calibrator_;
+  Threshold primary_;
+  mutable RunningStats timing_;
+};
+
+/// Baseline detector from Figure 9's discussion: watch only the total
+/// memory-traffic volume per interval and flag values outside a calibrated
+/// band. Cheap, but blind to compositional changes that keep volume steady —
+/// which is exactly why the rootkit's post-load phase evades it.
+class TrafficVolumeDetector {
+ public:
+  /// Calibrate on normal traffic volumes: the band is
+  /// [q_{p} − margin·IQR, q_{1−p} + margin·IQR].
+  TrafficVolumeDetector(const std::vector<double>& normal_volumes, double p,
+                        double margin = 0.5);
+
+  static TrafficVolumeDetector from_trace(const HeatMapTrace& normal, double p,
+                                          double margin = 0.5);
+
+  bool anomalous(double volume) const;
+  bool anomalous(const HeatMap& map) const;
+
+  double lower_bound() const { return lower_; }
+  double upper_bound() const { return upper_; }
+
+ private:
+  double lower_ = 0.0;
+  double upper_ = 0.0;
+};
+
+/// Baseline the paper dismisses as "computationally prohibitive" (§4.1):
+/// keep every training MHM and score a test map by its distance to the
+/// nearest neighbour in the raw L-dimensional space. Used in the ablation
+/// benches to quantify the cost/accuracy trade-off against eigenmemory+GMM.
+class NearestNeighborDetector {
+ public:
+  /// Stores the training set; calibrates the distance threshold as the
+  /// p-quantile of validation nearest-neighbour distances.
+  NearestNeighborDetector(std::vector<std::vector<double>> training,
+                          const std::vector<std::vector<double>>& validation,
+                          double p);
+
+  /// Distance of `x` to the nearest stored map (O(N·L) per query).
+  double nearest_distance(const std::vector<double>& x) const;
+
+  bool anomalous(const std::vector<double>& x) const;
+
+  double threshold() const { return threshold_; }
+  std::size_t stored_maps() const { return training_.size(); }
+  /// Bytes of storage the raw training set occupies — the cost the paper
+  /// calls prohibitive for on-chip secure-core memory.
+  std::size_t storage_bytes() const;
+
+ private:
+  std::vector<std::vector<double>> training_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace mhm

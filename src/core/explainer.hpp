@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/heatmap.hpp"
+#include "core/pca.hpp"
+
+namespace mhm {
+
+/// Squared-prediction-error (SPE / Q-statistic) detector on the eigenmemory
+/// residual.
+///
+/// The GMM scores the MHM's position *inside* the retained subspace; it is
+/// structurally blind to deviations orthogonal to that subspace (e.g. a
+/// burst of accesses to cells that carried no training variance — exactly
+/// what this repo's rootkit load burst looks like, see EXPERIMENTS.md E7).
+/// The classic remedy from PCA-based process monitoring is to also track
+/// the reconstruction residual
+///     SPE(M) = |Φ − U U^T Φ|²,  Φ = M − Ψ,
+/// which is ~zero for maps the basis can express and large for novel
+/// activity. Calibrated, like θ_p, as a quantile of validation SPEs.
+class SpeDetector {
+ public:
+  /// `p` — target false-positive rate; threshold is the (1−p) quantile of
+  /// the validation maps' SPE.
+  SpeDetector(const Eigenmemory& basis,
+              const std::vector<std::vector<double>>& validation, double p);
+
+  /// Residual energy of one raw MHM.
+  double spe(const std::vector<double>& map) const;
+  double spe(const HeatMap& map) const { return spe(map.as_vector()); }
+
+  bool anomalous(const std::vector<double>& map) const;
+  bool anomalous(const HeatMap& map) const { return anomalous(map.as_vector()); }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  const Eigenmemory* basis_;  ///< Non-owning; must outlive the detector.
+  double threshold_ = 0.0;
+};
+
+/// One cell's contribution to an anomaly.
+struct CellDeviation {
+  std::size_t cell = 0;
+  double observed = 0.0;
+  double expected = 0.0;   ///< Training mean of the cell.
+  double z_score = 0.0;    ///< (observed − mean) / std  (std floored).
+};
+
+/// Post-alarm forensics: which cells of an anomalous MHM deviate most from
+/// the training distribution. Works on raw maps, so it sees deviations the
+/// reduced space may have projected away. Cell indices can be mapped to
+/// kernel addresses/subsystems by the caller (cell c covers
+/// [base + c·δ, base + (c+1)·δ)).
+class AnomalyExplainer {
+ public:
+  /// Learns per-cell mean and standard deviation from normal maps.
+  explicit AnomalyExplainer(const std::vector<std::vector<double>>& training);
+
+  static AnomalyExplainer from_trace(const HeatMapTrace& training);
+
+  /// Top `k` cells of `map` ranked by |z-score| (descending).
+  std::vector<CellDeviation> explain(const std::vector<double>& map,
+                                     std::size_t k = 10) const;
+  std::vector<CellDeviation> explain(const HeatMap& map,
+                                     std::size_t k = 10) const {
+    return explain(map.as_vector(), k);
+  }
+
+  std::size_t cell_count() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace mhm

@@ -1,0 +1,341 @@
+#include "core/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace mhm {
+
+using linalg::Matrix;
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;  // ln(2π)
+
+double log_sum_exp(const std::vector<double>& xs) {
+  double peak = -std::numeric_limits<double>::infinity();
+  for (double x : xs) peak = std::max(peak, x);
+  if (!std::isfinite(peak)) return peak;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - peak);
+  return peak + std::log(sum);
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> kmeans_plus_plus_init(
+    const std::vector<std::vector<double>>& data, std::size_t k, Rng& rng) {
+  MHM_ASSERT(!data.empty() && k > 0 && k <= data.size(),
+             "kmeans_plus_plus_init: need at least k samples");
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  centers.push_back(
+      data[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1))]);
+
+  std::vector<double> d2(data.size(), 0.0);
+  while (centers.size() < k) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centers) {
+        best = std::min(best, linalg::squared_distance(data[i], c));
+      }
+      d2[i] = best;
+    }
+    double total = 0.0;
+    for (double d : d2) total += d;
+    if (total <= 0.0) {
+      // All points coincide with existing centers; duplicate one.
+      centers.push_back(centers.back());
+      continue;
+    }
+    centers.push_back(data[rng.discrete(d2)]);
+  }
+  return centers;
+}
+
+void Gmm::rebuild_cache() {
+  cache_.clear();
+  cache_.reserve(components_.size());
+  for (const auto& comp : components_) {
+    auto reg = linalg::cholesky_with_regularization(comp.covariance);
+    const double log_det = reg.factor.log_det();
+    const double log_norm =
+        -0.5 * static_cast<double>(dim_) * kLog2Pi - 0.5 * log_det;
+    cache_.push_back(ComponentCache{std::move(reg.factor), log_norm});
+  }
+}
+
+double Gmm::log_density(const std::vector<double>& x) const {
+  MHM_ASSERT(x.size() == dim_, "Gmm::log_density: dimension mismatch");
+  std::vector<double> terms(components_.size());
+  for (std::size_t j = 0; j < components_.size(); ++j) {
+    const auto& comp = components_[j];
+    const auto diff = linalg::subtract(x, comp.mean);
+    const double maha = cache_[j].chol.mahalanobis_squared(diff);
+    terms[j] = std::log(std::max(comp.weight, 1e-300)) + cache_[j].log_norm -
+               0.5 * maha;
+  }
+  return log_sum_exp(terms);
+}
+
+double Gmm::log10_density(const std::vector<double>& x) const {
+  return log_density(x) / std::log(10.0);
+}
+
+std::vector<double> Gmm::responsibilities(const std::vector<double>& x) const {
+  std::vector<double> terms(components_.size());
+  for (std::size_t j = 0; j < components_.size(); ++j) {
+    const auto& comp = components_[j];
+    const auto diff = linalg::subtract(x, comp.mean);
+    terms[j] = std::log(std::max(comp.weight, 1e-300)) + cache_[j].log_norm -
+               0.5 * cache_[j].chol.mahalanobis_squared(diff);
+  }
+  const double lse = log_sum_exp(terms);
+  std::vector<double> gamma(components_.size());
+  for (std::size_t j = 0; j < gamma.size(); ++j) {
+    gamma[j] = std::exp(terms[j] - lse);
+  }
+  return gamma;
+}
+
+std::size_t Gmm::classify(const std::vector<double>& x) const {
+  const auto gamma = responsibilities(x);
+  return static_cast<std::size_t>(
+      std::max_element(gamma.begin(), gamma.end()) - gamma.begin());
+}
+
+std::vector<double> Gmm::sample(Rng& rng) const {
+  std::vector<double> weights(components_.size());
+  for (std::size_t j = 0; j < weights.size(); ++j) {
+    weights[j] = components_[j].weight;
+  }
+  const std::size_t j = rng.discrete(weights);
+  std::vector<double> z(dim_);
+  for (double& v : z) v = rng.normal();
+  auto sample = cache_[j].chol.transform_standard_normal(z);
+  for (std::size_t i = 0; i < dim_; ++i) sample[i] += components_[j].mean[i];
+  return sample;
+}
+
+double Gmm::total_log_likelihood(
+    const std::vector<std::vector<double>>& data) const {
+  double total = 0.0;
+  for (const auto& x : data) total += log_density(x);
+  return total;
+}
+
+std::size_t Gmm::parameter_count() const {
+  const std::size_t d = dim_;
+  const std::size_t per_comp = d + d * (d + 1) / 2;
+  return components_.size() * per_comp + (components_.size() - 1);
+}
+
+double Gmm::bic(const std::vector<std::vector<double>>& data) const {
+  return -2.0 * total_log_likelihood(data) +
+         static_cast<double>(parameter_count()) *
+             std::log(static_cast<double>(data.size()));
+}
+
+Gmm Gmm::from_components(std::vector<GmmComponent> components) {
+  if (components.empty()) {
+    throw ConfigError("Gmm::from_components: no components");
+  }
+  const std::size_t d = components.front().mean.size();
+  if (d == 0) throw ConfigError("Gmm::from_components: zero-dimensional");
+  double weight_sum = 0.0;
+  for (const auto& comp : components) {
+    if (comp.mean.size() != d || comp.covariance.rows() != d ||
+        comp.covariance.cols() != d) {
+      throw ConfigError("Gmm::from_components: inconsistent dimensions");
+    }
+    if (comp.weight < 0.0) {
+      throw ConfigError("Gmm::from_components: negative weight");
+    }
+    weight_sum += comp.weight;
+  }
+  if (std::abs(weight_sum - 1.0) > 1e-6) {
+    throw ConfigError("Gmm::from_components: weights must sum to 1");
+  }
+  Gmm model;
+  model.dim_ = d;
+  model.components_ = std::move(components);
+  model.rebuild_cache();  // throws NumericalError on non-PD covariances
+  return model;
+}
+
+Gmm Gmm::fit(const std::vector<std::vector<double>>& data,
+             const Options& options) {
+  if (data.empty()) throw ConfigError("Gmm::fit: empty training set");
+  const std::size_t n = data.size();
+  const std::size_t d = data.front().size();
+  if (d == 0) throw ConfigError("Gmm::fit: zero-dimensional data");
+  const std::size_t j_count = options.components;
+  if (j_count == 0) throw ConfigError("Gmm::fit: components must be positive");
+  if (n < j_count) {
+    throw ConfigError("Gmm::fit: fewer samples than mixture components");
+  }
+  for (const auto& x : data) {
+    if (x.size() != d) throw ConfigError("Gmm::fit: ragged training set");
+  }
+
+  // Global data variance used to scale the covariance floor sensibly.
+  std::vector<double> global_mean(d, 0.0);
+  for (const auto& x : data) {
+    for (std::size_t i = 0; i < d; ++i) global_mean[i] += x[i];
+  }
+  for (double& m : global_mean) m /= static_cast<double>(n);
+  double global_var = 0.0;
+  for (const auto& x : data) {
+    global_var += linalg::squared_distance(x, global_mean);
+  }
+  global_var /= static_cast<double>(n) * static_cast<double>(d);
+  const double floor = std::max(options.covariance_floor,
+                                options.covariance_floor * global_var);
+
+  Rng master(options.seed);
+  Gmm best;
+  double best_ll = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t restart = 0; restart < std::max<std::size_t>(1, options.restarts);
+       ++restart) {
+    Rng rng = master.fork(restart + 1);
+
+    // --- initialization: k-means++ means, shared spherical covariance ---
+    Gmm model;
+    model.dim_ = d;
+    model.components_.resize(j_count);
+    const auto centers = kmeans_plus_plus_init(data, j_count, rng);
+    Matrix init_cov = Matrix::identity(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      init_cov(i, i) = std::max(global_var, floor);
+    }
+    for (std::size_t j = 0; j < j_count; ++j) {
+      model.components_[j].mean = centers[j];
+      model.components_[j].covariance = init_cov;
+      model.components_[j].weight = 1.0 / static_cast<double>(j_count);
+    }
+    model.rebuild_cache();
+
+    // --- EM iterations ---
+    double prev_ll = -std::numeric_limits<double>::infinity();
+    bool failed = false;
+    for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+      // E-step: responsibilities and log-likelihood in one pass.
+      std::vector<std::vector<double>> gamma(n);
+      double ll = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> terms(j_count);
+        for (std::size_t j = 0; j < j_count; ++j) {
+          const auto& comp = model.components_[j];
+          const auto diff = linalg::subtract(data[i], comp.mean);
+          terms[j] = std::log(std::max(comp.weight, 1e-300)) +
+                     model.cache_[j].log_norm -
+                     0.5 * model.cache_[j].chol.mahalanobis_squared(diff);
+        }
+        const double lse = log_sum_exp(terms);
+        ll += lse;
+        gamma[i].resize(j_count);
+        for (std::size_t j = 0; j < j_count; ++j) {
+          gamma[i][j] = std::exp(terms[j] - lse);
+        }
+      }
+
+      // M-step.
+      for (std::size_t j = 0; j < j_count; ++j) {
+        double nj = 0.0;
+        for (std::size_t i = 0; i < n; ++i) nj += gamma[i][j];
+        auto& comp = model.components_[j];
+        if (nj < 1e-8) {
+          // Dead component: re-seed it at a random sample.
+          comp.mean = data[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(n) - 1))];
+          comp.covariance = init_cov;
+          comp.weight = 1.0 / static_cast<double>(n);
+          continue;
+        }
+        comp.weight = nj / static_cast<double>(n);
+        // Mean.
+        std::vector<double> mu(d, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          linalg::axpy(gamma[i][j], data[i], mu);
+        }
+        linalg::scale(mu, 1.0 / nj);
+        comp.mean = mu;
+        // Covariance (with diagonal floor).
+        Matrix cov(d, d, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto diff = linalg::subtract(data[i], mu);
+          linalg::syr_update(cov, gamma[i][j], diff);
+        }
+        for (double& v : cov.data()) v /= nj;
+        for (std::size_t k = 0; k < d; ++k) cov(k, k) += floor;
+        comp.covariance = std::move(cov);
+      }
+      // Renormalize weights (re-seeded components can distort the sum).
+      double wsum = 0.0;
+      for (const auto& comp : model.components_) wsum += comp.weight;
+      for (auto& comp : model.components_) comp.weight /= wsum;
+
+      try {
+        model.rebuild_cache();
+      } catch (const NumericalError&) {
+        failed = true;
+        break;
+      }
+
+      if (std::isfinite(prev_ll) &&
+          std::abs(ll - prev_ll) <=
+              options.tolerance * std::max(1.0, std::abs(prev_ll))) {
+        prev_ll = ll;
+        break;
+      }
+      prev_ll = ll;
+    }
+    if (failed) continue;
+
+    const double final_ll = model.total_log_likelihood(data);
+    if (final_ll > best_ll) {
+      best_ll = final_ll;
+      best = std::move(model);
+    }
+  }
+
+  if (best.components_.empty()) {
+    throw NumericalError("Gmm::fit: every EM restart failed");
+  }
+  return best;
+}
+
+Gmm Gmm::select_components(const std::vector<std::vector<double>>& data,
+                           std::size_t min_components,
+                           std::size_t max_components, const Options& options,
+                           std::size_t* chosen) {
+  if (min_components == 0 || min_components > max_components) {
+    throw ConfigError("Gmm::select_components: invalid component range");
+  }
+  Gmm best;
+  double best_bic = std::numeric_limits<double>::infinity();
+  std::size_t best_j = 0;
+  for (std::size_t j = min_components; j <= max_components; ++j) {
+    if (j > data.size()) break;
+    Options opts = options;
+    opts.components = j;
+    Gmm model = fit(data, opts);
+    const double score = model.bic(data);
+    if (score < best_bic) {
+      best_bic = score;
+      best = std::move(model);
+      best_j = j;
+    }
+  }
+  if (best.components_.empty()) {
+    throw ConfigError("Gmm::select_components: no model could be fit");
+  }
+  if (chosen != nullptr) *chosen = best_j;
+  return best;
+}
+
+}  // namespace mhm

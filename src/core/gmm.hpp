@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mhm {
+
+/// One multivariate Gaussian component of the mixture: mean μ_j, covariance
+/// Σ_j and mixing weight λ_j (prior probability of the component).
+struct GmmComponent {
+  std::vector<double> mean;
+  linalg::Matrix covariance;
+  double weight = 0.0;
+};
+
+/// Gaussian Mixture Model over reduced MHMs (paper §4.3).
+///
+/// Normal memory behaviour is treated as generated from a small set of
+/// significant patterns, each a multivariate Gaussian over the eigenmemory
+/// weights; anomalies score a low density under the mixture. Fit with the
+/// EM algorithm (Dempster–Laird–Rubin), restarted several times with
+/// k-means++ initialization and keeping the best log-likelihood, exactly as
+/// the paper does (10 restarts, J chosen manually; a BIC-based automatic
+/// choice is provided as the `select_components` extension).
+class Gmm {
+ public:
+  /// Empty (untrained) mixture; usable only as an assignment target.
+  Gmm() = default;
+
+  struct Options {
+    std::size_t components = 5;     ///< J (paper: 5).
+    std::size_t restarts = 10;      ///< EM restarts (paper: 10).
+    std::size_t max_iterations = 200;
+    double tolerance = 1e-7;        ///< Relative log-likelihood improvement.
+    double covariance_floor = 1e-9; ///< Diagonal regularization added to Σ.
+    std::uint64_t seed = 12345;
+  };
+
+  /// Fit on reduced training vectors (all the same dimension).
+  /// Throws ConfigError on degenerate input (fewer samples than components).
+  static Gmm fit(const std::vector<std::vector<double>>& data,
+                 const Options& options);
+  static Gmm fit(const std::vector<std::vector<double>>& data) {
+    return fit(data, Options{});
+  }
+
+  /// Extension: fit for each J in [min_components, max_components] and keep
+  /// the model minimizing the Bayesian Information Criterion. Returns the
+  /// winning model; `chosen` (if non-null) receives the winning J.
+  static Gmm select_components(const std::vector<std::vector<double>>& data,
+                               std::size_t min_components,
+                               std::size_t max_components,
+                               const Options& options,
+                               std::size_t* chosen = nullptr);
+
+  /// Natural-log density log Pr(M; Θ) of one reduced MHM (Eq. 2).
+  double log_density(const std::vector<double>& x) const;
+
+  /// log10 of the density — the quantity plotted in Figures 7, 8 and 10.
+  double log10_density(const std::vector<double>& x) const;
+
+  /// Per-component posterior responsibilities γ_j(x) (sums to 1).
+  std::vector<double> responsibilities(const std::vector<double>& x) const;
+
+  /// Index of the most responsible component.
+  std::size_t classify(const std::vector<double>& x) const;
+
+  /// Draw one sample from the mixture (tests / synthetic data).
+  std::vector<double> sample(Rng& rng) const;
+
+  std::size_t dimension() const { return dim_; }
+  std::size_t component_count() const { return components_.size(); }
+  const std::vector<GmmComponent>& components() const { return components_; }
+
+  /// Total log-likelihood of a data set under this model.
+  double total_log_likelihood(
+      const std::vector<std::vector<double>>& data) const;
+
+  /// Number of free parameters (for BIC): J·(d + d(d+1)/2) + (J−1).
+  std::size_t parameter_count() const;
+
+  /// BIC = −2·logL + params·ln(N); lower is better.
+  double bic(const std::vector<std::vector<double>>& data) const;
+
+  /// Rebuild from previously extracted components (deserialization).
+  /// Validates shapes/weights and recomputes the density caches; throws
+  /// ConfigError / NumericalError on inconsistent input.
+  static Gmm from_components(std::vector<GmmComponent> components);
+
+ private:
+  /// Per-component cached Cholesky factor and log normalizer.
+  struct ComponentCache {
+    linalg::Cholesky chol;
+    double log_norm = 0.0;  ///< -d/2·ln(2π) - 1/2·ln|Σ|.
+  };
+
+  void rebuild_cache();
+
+  std::size_t dim_ = 0;
+  std::vector<GmmComponent> components_;
+  std::vector<ComponentCache> cache_;
+};
+
+/// k-means++ initial means over `data`; exposed for tests and reuse.
+std::vector<std::vector<double>> kmeans_plus_plus_init(
+    const std::vector<std::vector<double>>& data, std::size_t k, Rng& rng);
+
+}  // namespace mhm

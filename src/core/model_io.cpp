@@ -1,0 +1,230 @@
+#include "core/model_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace mhm {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'H', 'M', 'M'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+// Section tags.
+constexpr std::uint32_t kTagEigenmemory = 0x454D454D;  // "MEME"
+constexpr std::uint32_t kTagGmm = 0x004D4D47;          // "GMM\0"
+constexpr std::uint32_t kTagDetector = 0x00544544;     // "DET\0"
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap32(v);
+  }
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap64(v);
+  }
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void write_f64(std::ostream& out, double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  write_u64(out, bits);
+}
+
+void write_f64_span(std::ostream& out, std::span<const double> xs) {
+  write_u64(out, xs.size());
+  for (double x : xs) write_f64(out, x);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw SerializationError("model_io: truncated stream (u32)");
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap32(v);
+  }
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw SerializationError("model_io: truncated stream (u64)");
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap64(v);
+  }
+  return v;
+}
+
+double read_f64(std::istream& in) {
+  const std::uint64_t bits = read_u64(in);
+  double d;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+std::vector<double> read_f64_vector(std::istream& in,
+                                    std::uint64_t sanity_limit) {
+  const std::uint64_t count = read_u64(in);
+  if (count > sanity_limit) {
+    throw SerializationError("model_io: implausible vector length " +
+                             std::to_string(count));
+  }
+  std::vector<double> out(count);
+  for (auto& v : out) v = read_f64(in);
+  return out;
+}
+
+void expect_tag(std::istream& in, std::uint32_t tag, const char* what) {
+  if (read_u32(in) != tag) {
+    throw SerializationError(std::string("model_io: expected ") + what +
+                             " section");
+  }
+}
+
+/// Largest believable dimension in any serialized model (cells, samples).
+constexpr std::uint64_t kSanityLimit = 1 << 24;
+
+}  // namespace
+
+void save_eigenmemory(const Eigenmemory& em, std::ostream& out) {
+  write_u32(out, kTagEigenmemory);
+  write_u64(out, em.input_dim());
+  write_u64(out, em.components());
+  write_f64_span(out, em.mean());
+  for (std::size_t k = 0; k < em.components(); ++k) {
+    for (double v : em.basis().row(k)) write_f64(out, v);
+  }
+  write_f64_span(out, em.eigenvalues());
+  write_f64_span(out, em.spectrum());
+}
+
+Eigenmemory load_eigenmemory(std::istream& in) {
+  expect_tag(in, kTagEigenmemory, "eigenmemory");
+  const std::uint64_t dim = read_u64(in);
+  const std::uint64_t components = read_u64(in);
+  if (dim == 0 || dim > kSanityLimit || components == 0 || components > dim) {
+    throw SerializationError("model_io: implausible eigenmemory shape");
+  }
+  std::vector<double> mean = read_f64_vector(in, kSanityLimit);
+  if (mean.size() != dim) {
+    throw SerializationError("model_io: mean length mismatch");
+  }
+  linalg::Matrix basis(components, dim);
+  for (std::size_t k = 0; k < components; ++k) {
+    for (std::size_t i = 0; i < dim; ++i) basis(k, i) = read_f64(in);
+  }
+  std::vector<double> eigenvalues = read_f64_vector(in, kSanityLimit);
+  std::vector<double> spectrum = read_f64_vector(in, kSanityLimit);
+  return Eigenmemory::from_parts(std::move(mean), std::move(basis),
+                                 std::move(eigenvalues), std::move(spectrum));
+}
+
+void save_gmm(const Gmm& gmm, std::ostream& out) {
+  write_u32(out, kTagGmm);
+  write_u64(out, gmm.dimension());
+  write_u64(out, gmm.component_count());
+  for (const auto& comp : gmm.components()) {
+    write_f64(out, comp.weight);
+    write_f64_span(out, comp.mean);
+    for (double v : comp.covariance.data()) write_f64(out, v);
+  }
+}
+
+Gmm load_gmm(std::istream& in) {
+  expect_tag(in, kTagGmm, "gmm");
+  const std::uint64_t dim = read_u64(in);
+  const std::uint64_t count = read_u64(in);
+  if (dim == 0 || dim > kSanityLimit || count == 0 || count > kSanityLimit) {
+    throw SerializationError("model_io: implausible GMM shape");
+  }
+  std::vector<GmmComponent> components(count);
+  for (auto& comp : components) {
+    comp.weight = read_f64(in);
+    comp.mean = read_f64_vector(in, kSanityLimit);
+    if (comp.mean.size() != dim) {
+      throw SerializationError("model_io: GMM mean length mismatch");
+    }
+    comp.covariance = linalg::Matrix(dim, dim);
+    for (double& v : comp.covariance.data()) v = read_f64(in);
+  }
+  try {
+    return Gmm::from_components(std::move(components));
+  } catch (const Error& e) {
+    throw SerializationError(std::string("model_io: invalid GMM payload: ") +
+                             e.what());
+  }
+}
+
+AnomalyDetector DetectorModel::to_detector() const {
+  return AnomalyDetector::assemble(eigenmemory, gmm,
+                                   ThresholdCalibrator(validation_scores),
+                                   primary_p);
+}
+
+DetectorModel DetectorModel::from_detector(const AnomalyDetector& detector) {
+  DetectorModel model;
+  model.eigenmemory = detector.eigenmemory();
+  model.gmm = detector.gmm();
+  model.validation_scores = detector.thresholds().validation_scores();
+  model.primary_p = detector.primary_threshold().p;
+  return model;
+}
+
+void save_model(const DetectorModel& model, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  write_u32(out, kFormatVersion);
+  save_eigenmemory(model.eigenmemory, out);
+  save_gmm(model.gmm, out);
+  write_u32(out, kTagDetector);
+  write_f64(out, model.primary_p);
+  write_f64_span(out, model.validation_scores);
+  if (!out) throw SerializationError("model_io: write failure");
+}
+
+DetectorModel load_model(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw SerializationError("model_io: bad magic (not an MHM model file)");
+  }
+  const std::uint32_t version = read_u32(in);
+  if (version != kFormatVersion) {
+    throw SerializationError("model_io: unsupported format version " +
+                             std::to_string(version));
+  }
+  DetectorModel model;
+  model.eigenmemory = load_eigenmemory(in);
+  model.gmm = load_gmm(in);
+  expect_tag(in, kTagDetector, "detector");
+  model.primary_p = read_f64(in);
+  if (!(model.primary_p > 0.0 && model.primary_p < 1.0)) {
+    throw SerializationError("model_io: primary_p out of range");
+  }
+  model.validation_scores = read_f64_vector(in, kSanityLimit);
+  if (model.validation_scores.empty()) {
+    throw SerializationError("model_io: empty validation score set");
+  }
+  return model;
+}
+
+void save_model_file(const DetectorModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ConfigError("save_model_file: cannot open " + path);
+  save_model(model, out);
+}
+
+DetectorModel load_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("load_model_file: cannot open " + path);
+  return load_model(in);
+}
+
+}  // namespace mhm

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/detector.hpp"
+#include "core/gmm.hpp"
+#include "core/pca.hpp"
+
+namespace mhm {
+
+/// Versioned binary serialization of trained models.
+///
+/// The paper's workflow separates profiling (pre-deployment, in a trusted
+/// environment — §2 assumption iii) from detection (on the deployed secure
+/// core). That split requires shipping the trained model: the eigenmemory
+/// basis and mean, the GMM parameters and the calibrated thresholds. This
+/// module provides a compact little-endian binary format for exactly that.
+///
+/// Format: magic "MHMM", format version, then tagged sections. Numbers are
+/// fixed-width little-endian; doubles are raw IEEE-754 bits. Readers reject
+/// unknown versions and truncated/corrupt payloads with SerializationError.
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+/// Serialized-model container: everything the secure core needs at runtime.
+struct DetectorModel {
+  Eigenmemory eigenmemory;
+  Gmm gmm;
+  std::vector<double> validation_scores;  ///< For re-deriving any θ_p.
+  double primary_p = 0.01;
+
+  /// Reassemble a working detector (recomputes GMM caches, θ_p).
+  AnomalyDetector to_detector() const;
+
+  /// Capture a trained detector.
+  static DetectorModel from_detector(const AnomalyDetector& detector);
+};
+
+/// Stream I/O.
+void save_model(const DetectorModel& model, std::ostream& out);
+DetectorModel load_model(std::istream& in);
+
+/// File I/O convenience (throws SerializationError / ConfigError).
+void save_model_file(const DetectorModel& model, const std::string& path);
+DetectorModel load_model_file(const std::string& path);
+
+/// --- lower-level pieces, exposed for reuse and tests ---
+void save_eigenmemory(const Eigenmemory& em, std::ostream& out);
+Eigenmemory load_eigenmemory(std::istream& in);
+void save_gmm(const Gmm& gmm, std::ostream& out);
+Gmm load_gmm(std::istream& in);
+
+}  // namespace mhm

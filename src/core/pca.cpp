@@ -1,0 +1,251 @@
+#include "core/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace mhm {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+std::vector<double> compute_mean(const std::vector<std::vector<double>>& xs) {
+  std::vector<double> mean(xs.front().size(), 0.0);
+  for (const auto& x : xs) {
+    MHM_ASSERT(x.size() == mean.size(), "Eigenmemory: ragged training set");
+    for (std::size_t i = 0; i < mean.size(); ++i) mean[i] += x[i];
+  }
+  for (double& m : mean) m /= static_cast<double>(xs.size());
+  return mean;
+}
+
+/// Upper-triangle accumulation of C = (1/N) Σ Φ Φ^T, mirrored at the end.
+Matrix covariance_direct(const std::vector<std::vector<double>>& xs,
+                         const std::vector<double>& mean) {
+  const std::size_t l = mean.size();
+  Matrix c(l, l, 0.0);
+  std::vector<double> phi(l);
+  for (const auto& x : xs) {
+    for (std::size_t i = 0; i < l; ++i) phi[i] = x[i] - mean[i];
+    for (std::size_t i = 0; i < l; ++i) {
+      const double pi = phi[i];
+      if (pi == 0.0) continue;
+      auto row = c.row(i);
+      for (std::size_t j = i; j < l; ++j) row[j] += pi * phi[j];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < l; ++i) {
+    c(i, i) *= inv_n;
+    for (std::size_t j = i + 1; j < l; ++j) {
+      c(i, j) *= inv_n;
+      c(j, i) = c(i, j);
+    }
+  }
+  return c;
+}
+
+/// Gram matrix G = (1/N) A^T A with A = [Φ_1 … Φ_N] (N x N).
+Matrix gram_matrix(const std::vector<std::vector<double>>& xs,
+                   const std::vector<double>& mean) {
+  const std::size_t n = xs.size();
+  const std::size_t l = mean.size();
+  std::vector<std::vector<double>> phis(n, std::vector<double>(l));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t i = 0; i < l; ++i) phis[a][i] = xs[a][i] - mean[i];
+  }
+  Matrix g(n, n, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      const double v = linalg::dot(phis[a], phis[b]) * inv_n;
+      g(a, b) = v;
+      g(b, a) = v;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Eigenmemory Eigenmemory::fit(const std::vector<std::vector<double>>& training,
+                             const Options& options) {
+  if (training.empty()) {
+    throw ConfigError("Eigenmemory::fit: empty training set");
+  }
+  const std::size_t l = training.front().size();
+  if (l == 0) throw ConfigError("Eigenmemory::fit: zero-dimensional maps");
+  const std::size_t n = training.size();
+  if (options.components > std::min(l, n)) {
+    throw ConfigError(
+        "Eigenmemory::fit: requested more components than min(L, N)");
+  }
+
+  Eigenmemory em;
+  em.mean_ = compute_mean(training);
+
+  const bool use_gram = options.allow_gram_trick && n < l;
+  linalg::SymmetricEigenResult eig;
+  if (use_gram) {
+    eig = linalg::eigen_symmetric(gram_matrix(training, em.mean_));
+  } else {
+    eig = linalg::eigen_symmetric(covariance_direct(training, em.mean_));
+  }
+
+  // Clamp tiny negative round-off eigenvalues to zero; record the spectrum.
+  em.spectrum_ = eig.eigenvalues;
+  for (double& v : em.spectrum_) v = std::max(v, 0.0);
+  em.total_variance_ = 0.0;
+  for (double v : em.spectrum_) em.total_variance_ += v;
+
+  // Decide how many eigenmemories to retain.
+  std::size_t keep = options.components;
+  if (keep == 0) {
+    if (options.variance_target <= 0.0 || options.variance_target > 1.0) {
+      throw ConfigError("Eigenmemory::fit: variance_target must be in (0,1]");
+    }
+    double cumulative = 0.0;
+    keep = em.spectrum_.size();
+    for (std::size_t k = 0; k < em.spectrum_.size(); ++k) {
+      cumulative += em.spectrum_[k];
+      if (em.total_variance_ == 0.0 ||
+          cumulative >= options.variance_target * em.total_variance_) {
+        keep = k + 1;
+        break;
+      }
+    }
+  }
+  // Never keep numerically-zero directions.
+  const double floor = 1e-12 * std::max(1.0, em.total_variance_);
+  while (keep > 1 && em.spectrum_[keep - 1] <= floor) --keep;
+
+  em.eigenvalues_.assign(em.spectrum_.begin(),
+                         em.spectrum_.begin() + static_cast<std::ptrdiff_t>(keep));
+  em.basis_ = Matrix(keep, l, 0.0);
+
+  if (use_gram) {
+    // Map Gram eigenvectors v back to input space: u = A v (then normalize).
+    for (std::size_t k = 0; k < keep; ++k) {
+      auto urow = em.basis_.row(k);
+      for (std::size_t a = 0; a < n; ++a) {
+        const double vak = eig.eigenvectors(a, k);
+        if (vak == 0.0) continue;
+        for (std::size_t i = 0; i < l; ++i) {
+          urow[i] += vak * (training[a][i] - em.mean_[i]);
+        }
+      }
+      linalg::normalize(urow);
+    }
+  } else {
+    for (std::size_t k = 0; k < keep; ++k) {
+      auto urow = em.basis_.row(k);
+      for (std::size_t i = 0; i < l; ++i) urow[i] = eig.eigenvectors(i, k);
+    }
+  }
+  return em;
+}
+
+Eigenmemory Eigenmemory::fit(const HeatMapTrace& maps,
+                             const Options& options) {
+  std::vector<std::vector<double>> raw;
+  raw.reserve(maps.size());
+  for (const auto& m : maps) raw.push_back(m.as_vector());
+  return fit(raw, options);
+}
+
+std::vector<double> Eigenmemory::project(const std::vector<double>& map) const {
+  MHM_ASSERT(map.size() == mean_.size(), "Eigenmemory::project: bad length");
+  std::vector<double> phi(map.size());
+  for (std::size_t i = 0; i < map.size(); ++i) phi[i] = map[i] - mean_[i];
+  std::vector<double> w(components());
+  for (std::size_t k = 0; k < components(); ++k) {
+    w[k] = linalg::dot(basis_.row(k), phi);
+  }
+  return w;
+}
+
+std::vector<double> Eigenmemory::project(const HeatMap& map) const {
+  return project(map.as_vector());
+}
+
+std::vector<std::vector<double>> Eigenmemory::project_all(
+    const std::vector<std::vector<double>>& maps) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(maps.size());
+  for (const auto& m : maps) out.push_back(project(m));
+  return out;
+}
+
+std::vector<double> Eigenmemory::reconstruct(
+    const std::vector<double>& weights) const {
+  MHM_ASSERT(weights.size() == components(),
+             "Eigenmemory::reconstruct: weight count mismatch");
+  std::vector<double> out = mean_;
+  for (std::size_t k = 0; k < components(); ++k) {
+    linalg::axpy(weights[k], basis_.row(k), out);
+  }
+  return out;
+}
+
+double Eigenmemory::reconstruction_error(const std::vector<double>& map) const {
+  const auto approx = reconstruct(project(map));
+  double err = 0.0;
+  double ref = 0.0;
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    const double d = map[i] - approx[i];
+    const double r = map[i] - mean_[i];
+    err += d * d;
+    ref += r * r;
+  }
+  if (ref == 0.0) return 0.0;
+  return std::sqrt(err / ref);
+}
+
+Eigenmemory Eigenmemory::from_parts(std::vector<double> mean,
+                                    linalg::Matrix basis,
+                                    std::vector<double> eigenvalues,
+                                    std::vector<double> spectrum) {
+  if (mean.empty()) throw ConfigError("Eigenmemory::from_parts: empty mean");
+  if (basis.cols() != mean.size()) {
+    throw ConfigError("Eigenmemory::from_parts: basis width != mean length");
+  }
+  if (basis.rows() == 0 || basis.rows() != eigenvalues.size()) {
+    throw ConfigError(
+        "Eigenmemory::from_parts: eigenvalue count != basis rows");
+  }
+  if (spectrum.size() < eigenvalues.size()) {
+    throw ConfigError("Eigenmemory::from_parts: spectrum shorter than basis");
+  }
+  for (std::size_t k = 0; k < basis.rows(); ++k) {
+    const double n = linalg::norm2(basis.row(k));
+    if (std::abs(n - 1.0) > 1e-6) {
+      throw ConfigError("Eigenmemory::from_parts: basis row " +
+                        std::to_string(k) + " is not unit-norm");
+    }
+    if (eigenvalues[k] < 0.0) {
+      throw ConfigError("Eigenmemory::from_parts: negative eigenvalue");
+    }
+  }
+  Eigenmemory em;
+  em.mean_ = std::move(mean);
+  em.basis_ = std::move(basis);
+  em.eigenvalues_ = std::move(eigenvalues);
+  em.spectrum_ = std::move(spectrum);
+  em.total_variance_ = 0.0;
+  for (double v : em.spectrum_) em.total_variance_ += v;
+  return em;
+}
+
+double Eigenmemory::variance_explained(std::size_t k) const {
+  if (total_variance_ == 0.0) return 1.0;
+  if (k == 0 || k > eigenvalues_.size()) k = eigenvalues_.size();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) sum += eigenvalues_[i];
+  return sum / total_variance_;
+}
+
+}  // namespace mhm

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/heatmap.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mhm {
+
+/// The "eigenmemory" dimensionality-reduction stage (paper §4.2).
+///
+/// Given a training set of MHMs, computes the empirical mean Ψ, the
+/// covariance C = (1/N) Σ Φ_n Φ_n^T of the mean-shifted maps Φ_n = M_n − Ψ,
+/// and its leading eigenvectors u_1..u_L' ("eigenmemories", the analogue of
+/// eigenfaces). A map is reduced by projecting its mean-shifted form onto
+/// the eigenmemory basis: M'_n = u^T Φ_n, an L'-vector of weights that
+/// measures how strongly each primary activity contributes to the map.
+class Eigenmemory {
+ public:
+  /// Empty (untrained) basis; usable only as an assignment target.
+  Eigenmemory() = default;
+
+  struct Options {
+    /// Number of eigenmemories L' to keep. 0 = choose automatically so that
+    /// `variance_target` of the training variance is retained.
+    std::size_t components = 0;
+    double variance_target = 0.9999;  ///< Used when components == 0.
+    /// When N < L the covariance has rank < L; the solver always runs on
+    /// the smaller Gram matrix in that case (Turk–Pentland trick).
+    bool allow_gram_trick = true;
+  };
+
+  /// Fit on raw MHM cell-count vectors (each of equal length L).
+  /// Throws ConfigError on an empty/ragged training set.
+  static Eigenmemory fit(const std::vector<std::vector<double>>& training,
+                         const Options& options);
+  static Eigenmemory fit(const std::vector<std::vector<double>>& training) {
+    return fit(training, Options{});
+  }
+
+  /// Convenience: fit directly on heat maps.
+  static Eigenmemory fit(const HeatMapTrace& maps, const Options& options);
+  static Eigenmemory fit(const HeatMapTrace& maps) {
+    return fit(maps, Options{});
+  }
+
+  /// Project one raw MHM into the reduced space (length L' weights).
+  std::vector<double> project(const std::vector<double>& map) const;
+  std::vector<double> project(const HeatMap& map) const;
+
+  /// Project a batch.
+  std::vector<std::vector<double>> project_all(
+      const std::vector<std::vector<double>>& maps) const;
+
+  /// Approximate reconstruction Ψ + Σ_k w_k u_k from reduced weights.
+  std::vector<double> reconstruct(const std::vector<double>& weights) const;
+
+  /// Relative reconstruction error |M − reconstruct(project(M))| / |M − Ψ|
+  /// (0 when the map lies fully inside the retained subspace).
+  double reconstruction_error(const std::vector<double>& map) const;
+
+  std::size_t input_dim() const { return mean_.size(); }
+  std::size_t components() const { return basis_.rows(); }
+  const std::vector<double>& mean() const { return mean_; }
+  /// Basis row k is the k-th eigenmemory (unit length, decreasing
+  /// eigenvalue order).
+  const linalg::Matrix& basis() const { return basis_; }
+  const std::vector<double>& eigenvalues() const { return eigenvalues_; }
+  /// All eigenvalues of the covariance (not just the retained ones).
+  const std::vector<double>& spectrum() const { return spectrum_; }
+
+  /// Fraction of total training variance captured by the first k retained
+  /// eigenmemories (k defaults to all retained).
+  double variance_explained(std::size_t k = 0) const;
+
+  /// Rebuild from previously extracted parts (deserialization). `basis`
+  /// must be L' x L with unit-norm rows; `eigenvalues` length L';
+  /// `spectrum` the full (possibly longer) eigenvalue list. Validated.
+  static Eigenmemory from_parts(std::vector<double> mean,
+                                linalg::Matrix basis,
+                                std::vector<double> eigenvalues,
+                                std::vector<double> spectrum);
+
+ private:
+  std::vector<double> mean_;       ///< Ψ, length L.
+  linalg::Matrix basis_;           ///< L' x L; rows are eigenmemories.
+  std::vector<double> eigenvalues_;///< Retained eigenvalues, length L'.
+  std::vector<double> spectrum_;   ///< Full eigenvalue spectrum.
+  double total_variance_ = 0.0;
+};
+
+}  // namespace mhm

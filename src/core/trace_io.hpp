@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/heatmap.hpp"
+#include "core/model_io.hpp"
+
+namespace mhm {
+
+/// Binary persistence for heat-map traces.
+///
+/// The paper's workflow profiles the system in a trusted environment before
+/// deployment (§2, assumption iii). Persisting the raw MHM traces decouples
+/// *collection* from *training*: traces recorded once can be re-used to fit
+/// detectors with different hyper-parameters (L', J, thresholds) without
+/// re-running the system — which is also how the ablation studies work.
+///
+/// Format: magic "MHMT", version, the MhmConfig that produced the trace,
+/// map count, then per map: interval index, interval start and the cell
+/// counts (u32 each). Little-endian throughout; readers validate magic,
+/// version, bounds and cell-count consistency.
+
+/// A trace plus the monitoring configuration it was recorded under.
+struct RecordedTrace {
+  MhmConfig config;
+  HeatMapTrace maps;
+};
+
+void save_trace(const RecordedTrace& trace, std::ostream& out);
+RecordedTrace load_trace(std::istream& in);
+
+void save_trace_file(const RecordedTrace& trace, const std::string& path);
+RecordedTrace load_trace_file(const std::string& path);
+
+}  // namespace mhm

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "hw/memory_bus.hpp"
+
+namespace mhm::hw {
+
+/// Text address-trace ingestion.
+///
+/// The paper collected memory behaviour on a full-system simulator; users
+/// of this library may have instruction-fetch traces from gem5, valgrind
+/// (lackey), QEMU plugins or hardware trace units instead. This module
+/// parses a simple line-oriented format and publishes the stream onto a
+/// MemoryBus, where a Memometer aggregates it into heat maps exactly as it
+/// would live traffic.
+///
+/// Format (whitespace-separated, one access per line):
+///     <time_ns> <address> [<size_bytes> [<sweeps>]]
+///   * `time_ns`  — unsigned decimal timestamp; must be non-decreasing.
+///   * `address`  — decimal, or hex with 0x/0X prefix.
+///   * `size_bytes` — optional, default 4 (one instruction fetch).
+///   * `sweeps`   — optional repeat count, default 1.
+/// Blank lines and lines starting with '#' are ignored. Malformed lines
+/// throw ConfigError with the 1-based line number.
+struct AddressTraceStats {
+  std::uint64_t lines_parsed = 0;   ///< Access lines (comments excluded).
+  std::uint64_t accesses = 0;       ///< Total fetches represented.
+  SimTime first_time = 0;
+  SimTime last_time = 0;
+};
+
+/// Parse `in` and publish every access onto `bus`. Returns parse stats.
+/// The caller attaches its Memometer/recorder to `bus` beforehand and is
+/// responsible for a final `bus.advance_time(...)`/`finish(...)` flush.
+AddressTraceStats replay_address_trace(std::istream& in, MemoryBus& bus);
+
+/// Convenience: open `path` and replay it (throws ConfigError on I/O).
+AddressTraceStats replay_address_trace_file(const std::string& path,
+                                            MemoryBus& bus);
+
+/// Write a bus capture back out in the same text format (round-trip /
+/// export for other tools).
+void write_address_trace(const std::vector<AccessBurst>& bursts,
+                         std::ostream& out);
+
+}  // namespace mhm::hw

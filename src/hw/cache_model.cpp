@@ -1,0 +1,113 @@
+#include "hw/cache_model.hpp"
+
+#include "common/error.hpp"
+
+namespace mhm::hw {
+
+void CacheGeometry::validate() const {
+  if (!is_power_of_two(line_bytes)) {
+    throw ConfigError("CacheGeometry: line size must be a power of two");
+  }
+  if (ways == 0) throw ConfigError("CacheGeometry: ways must be positive");
+  if (size_bytes == 0 || size_bytes % (line_bytes * ways) != 0) {
+    throw ConfigError(
+        "CacheGeometry: size must be a positive multiple of line*ways");
+  }
+  if (!is_power_of_two(sets())) {
+    throw ConfigError("CacheGeometry: set count must be a power of two");
+  }
+}
+
+CacheGeometry CacheGeometry::l1_default() {
+  return CacheGeometry{.size_bytes = 32 * 1024, .line_bytes = 32, .ways = 4};
+}
+
+CacheGeometry CacheGeometry::l2_default() {
+  return CacheGeometry{.size_bytes = 512 * 1024, .line_bytes = 32, .ways = 8};
+}
+
+CacheModel::CacheModel(const CacheGeometry& geometry, MemoryBus* downstream)
+    : geom_(geometry), downstream_(downstream) {
+  geom_.validate();
+  ways_.resize(geom_.sets() * geom_.ways);
+}
+
+double CacheModel::hit_rate() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void CacheModel::invalidate_all() {
+  for (auto& w : ways_) w.valid = false;
+}
+
+bool CacheModel::access_line(std::uint64_t line_addr) {
+  const std::uint64_t set =
+      (line_addr / geom_.line_bytes) & (geom_.sets() - 1);
+  const std::uint64_t tag = line_addr / (geom_.line_bytes * geom_.sets());
+  Way* base = &ways_[set * geom_.ways];
+  ++stamp_;
+
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru_stamp = stamp_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid way as victim
+    } else if (victim->valid && way.lru_stamp < victim->lru_stamp) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru_stamp = stamp_;
+  return false;
+}
+
+void CacheModel::on_burst(const AccessBurst& burst) {
+  // Expand the burst into individual fetches; consecutive fetches to the
+  // same line collapse into one lookup per line per sweep (the core streams
+  // through the range, so within one sweep a line is touched contiguously).
+  const std::uint64_t words =
+      (burst.size_bytes + AccessBurst::kWordBytes - 1) / AccessBurst::kWordBytes;
+  const std::uint64_t words_per_line =
+      geom_.line_bytes / AccessBurst::kWordBytes;
+
+  for (std::uint64_t sweep = 0; sweep < burst.sweeps; ++sweep) {
+    Address addr = burst.base;
+    std::uint64_t remaining = words;
+    while (remaining > 0) {
+      const Address line_addr = addr & ~(geom_.line_bytes - 1);
+      // Number of fetch words covered by this line in this sweep.
+      const std::uint64_t offset_words =
+          (addr - line_addr) / AccessBurst::kWordBytes;
+      const std::uint64_t span = std::min(remaining, words_per_line - offset_words);
+      const bool hit = access_line(line_addr);
+      if (hit) {
+        hits_ += span;
+      } else {
+        misses_ += span;
+        if (downstream_ != nullptr) {
+          // Below the cache only the line fill is visible: one access
+          // covering the line.
+          downstream_->publish(AccessBurst{.time = burst.time,
+                                           .base = line_addr,
+                                           .size_bytes = geom_.line_bytes,
+                                           .sweeps = 1});
+        }
+      }
+      addr += span * AccessBurst::kWordBytes;
+      remaining -= span;
+    }
+  }
+}
+
+void CacheModel::on_time(SimTime now) {
+  if (downstream_ != nullptr) downstream_->advance_time(now);
+}
+
+}  // namespace mhm::hw

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/memory_bus.hpp"
+
+namespace mhm::hw {
+
+/// Geometry of a set-associative cache.
+struct CacheGeometry {
+  std::uint64_t size_bytes = 32 * 1024;  ///< Total capacity.
+  std::uint64_t line_bytes = 32;         ///< Cache line size (power of 2).
+  std::uint32_t ways = 4;                ///< Associativity.
+
+  std::uint64_t sets() const { return size_bytes / (line_bytes * ways); }
+  void validate() const;  ///< Throws ConfigError on inconsistent geometry.
+
+  /// Cortex-A9-like defaults used in the paper's prototype.
+  static CacheGeometry l1_default();  ///< 32 KB, 4-way, 32 B lines.
+  static CacheGeometry l2_default();  ///< 512 KB, 8-way, 32 B lines.
+};
+
+/// Set-associative LRU instruction cache model.
+///
+/// Supports the §5.5 "Limitation" ablation: placing the Memometer *below*
+/// a cache level loses the hits, so this model sits on the bus, simulates
+/// hits/misses per fetch, and republishes only the misses onto a downstream
+/// bus where a Memometer can be attached.
+class CacheModel final : public BusObserver {
+ public:
+  /// Fetches arriving on the upstream bus are looked up; misses are
+  /// published (line-granular) on `downstream`. `downstream` may be null to
+  /// use the model for hit-rate statistics only.
+  CacheModel(const CacheGeometry& geometry, MemoryBus* downstream);
+
+  void on_burst(const AccessBurst& burst) override;
+  void on_time(SimTime now) override;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const;
+
+  /// Drop all cached lines (e.g. simulated power-up).
+  void invalidate_all();
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t lru_stamp = 0;  ///< Higher = more recently used.
+  };
+
+  /// Look up one line address; returns true on hit; updates LRU / fills.
+  bool access_line(std::uint64_t line_addr);
+
+  CacheGeometry geom_;
+  MemoryBus* downstream_;
+  std::vector<Way> ways_;  ///< sets() * ways entries, set-major.
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mhm::hw

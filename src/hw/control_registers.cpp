@@ -1,0 +1,74 @@
+#include "hw/control_registers.hpp"
+
+#include "common/error.hpp"
+
+namespace mhm::hw {
+
+MemometerRegisters::MemometerRegisters() = default;
+
+void MemometerRegisters::write(Register reg, std::uint32_t value) {
+  if (reg >= kRegisterCount) {
+    throw ConfigError("MemometerRegisters: register index out of range");
+  }
+  if (reg == kStatus) {
+    throw ConfigError("MemometerRegisters: STATUS is read-only");
+  }
+  if (reg == kGranShift && value > 63) {
+    throw ConfigError("MemometerRegisters: granularity shift must be <= 63");
+  }
+  regs_[reg] = value;
+}
+
+std::uint32_t MemometerRegisters::read(Register reg) const {
+  if (reg >= kRegisterCount) {
+    throw ConfigError("MemometerRegisters: register index out of range");
+  }
+  if (reg == kStatus) {
+    return (enabled() && valid()) ? 1u : 0u;
+  }
+  return regs_[reg];
+}
+
+void MemometerRegisters::program(const MhmConfig& config,
+                                 bool deliver_partial) {
+  config.validate();
+  write(kBaseLo, static_cast<std::uint32_t>(config.base & 0xFFFFFFFFu));
+  write(kBaseHi, static_cast<std::uint32_t>(config.base >> 32));
+  write(kSizeLo, static_cast<std::uint32_t>(config.size & 0xFFFFFFFFu));
+  write(kSizeHi, static_cast<std::uint32_t>(config.size >> 32));
+  write(kGranShift, config.shift_bits());
+  write(kIntervalUs,
+        static_cast<std::uint32_t>(config.interval / kMicrosecond));
+  std::uint32_t ctrl = kCtrlEnable;
+  if (deliver_partial) ctrl |= kCtrlDeliverPartial;
+  write(kCtrl, ctrl);
+}
+
+bool MemometerRegisters::enabled() const {
+  return (regs_[kCtrl] & kCtrlEnable) != 0;
+}
+
+bool MemometerRegisters::deliver_partial() const {
+  return (regs_[kCtrl] & kCtrlDeliverPartial) != 0;
+}
+
+bool MemometerRegisters::valid() const {
+  const std::uint64_t size =
+      (static_cast<std::uint64_t>(regs_[kSizeHi]) << 32) | regs_[kSizeLo];
+  return size > 0 && regs_[kGranShift] <= 63 && regs_[kIntervalUs] > 0;
+}
+
+MhmConfig MemometerRegisters::to_config() const {
+  if (!enabled()) {
+    throw ConfigError("MemometerRegisters: Memometer is not enabled");
+  }
+  MhmConfig cfg;
+  cfg.base = (static_cast<std::uint64_t>(regs_[kBaseHi]) << 32) | regs_[kBaseLo];
+  cfg.size = (static_cast<std::uint64_t>(regs_[kSizeHi]) << 32) | regs_[kSizeLo];
+  cfg.granularity = 1ull << regs_[kGranShift];
+  cfg.interval = static_cast<SimTime>(regs_[kIntervalUs]) * kMicrosecond;
+  cfg.validate();  // throws ConfigError on inconsistent contents
+  return cfg;
+}
+
+}  // namespace mhm::hw

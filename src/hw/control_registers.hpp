@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/heatmap.hpp"
+
+namespace mhm::hw {
+
+/// Register-level programming model of the Memometer (§3.1: "The secure
+/// core sets the monitoring parameters for the Memometer through control
+/// registers"). This models the memory-mapped interface a real secure-core
+/// driver would poke: word-addressed registers holding the base address,
+/// region size, granularity exponent and interval, plus a control/status
+/// word. `to_config()` validates and converts the raw register contents to
+/// the library's MhmConfig; the Memometer itself consumes the latter.
+///
+/// Register map (word offsets):
+///   0  BASE_LO      lower 32 bits of AddrBase
+///   1  BASE_HI      upper 32 bits of AddrBase
+///   2  SIZE_LO      lower 32 bits of the region size S
+///   3  SIZE_HI      upper 32 bits of S
+///   4  GRAN_SHIFT   g = log2(delta); cell index = offset >> g
+///   5  INTERVAL_US  monitoring interval in microseconds
+///   6  CTRL         bit 0: enable, bit 1: deliver-partial-on-stop
+///   7  STATUS       read-only: bit 0: armed (CTRL written & valid)
+class MemometerRegisters {
+ public:
+  enum Register : std::uint32_t {
+    kBaseLo = 0,
+    kBaseHi = 1,
+    kSizeLo = 2,
+    kSizeHi = 3,
+    kGranShift = 4,
+    kIntervalUs = 5,
+    kCtrl = 6,
+    kStatus = 7,
+    kRegisterCount = 8,
+  };
+
+  static constexpr std::uint32_t kCtrlEnable = 1u << 0;
+  static constexpr std::uint32_t kCtrlDeliverPartial = 1u << 1;
+
+  MemometerRegisters();
+
+  /// Secure-core write. STATUS is read-only: writes throw ConfigError.
+  void write(Register reg, std::uint32_t value);
+
+  /// Secure-core read. STATUS reflects whether the current contents form a
+  /// valid, enabled configuration.
+  std::uint32_t read(Register reg) const;
+
+  /// Program the whole bank from a high-level config (+ enable).
+  void program(const MhmConfig& config, bool deliver_partial = false);
+
+  /// Convert the current register contents to a validated MhmConfig.
+  /// Throws ConfigError if the contents are inconsistent (zero size, shift
+  /// out of range, zero interval) or the Memometer is not enabled.
+  MhmConfig to_config() const;
+
+  bool enabled() const;
+  bool deliver_partial() const;
+
+ private:
+  bool valid() const;
+  std::uint32_t regs_[kRegisterCount] = {};
+};
+
+}  // namespace mhm::hw

@@ -1,0 +1,44 @@
+#include "hw/memory_bus.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mhm::hw {
+
+void MemoryBus::attach(BusObserver* observer) {
+  MHM_ASSERT(observer != nullptr, "MemoryBus::attach: null observer");
+  MHM_ASSERT(std::find(observers_.begin(), observers_.end(), observer) ==
+                 observers_.end(),
+             "MemoryBus::attach: observer already attached");
+  observers_.push_back(observer);
+}
+
+void MemoryBus::detach(BusObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void MemoryBus::publish(const AccessBurst& burst) {
+  MHM_ASSERT(burst.time >= last_time_,
+             "MemoryBus::publish: timestamps must be non-decreasing");
+  MHM_ASSERT(burst.sweeps > 0 && burst.size_bytes > 0,
+             "MemoryBus::publish: empty burst");
+  last_time_ = burst.time;
+  ++bursts_;
+  accesses_ += burst.total_accesses();
+  for (auto* obs : observers_) obs->on_burst(burst);
+}
+
+void MemoryBus::publish_access(SimTime time, Address addr) {
+  publish(AccessBurst{.time = time, .base = addr, .size_bytes = 4, .sweeps = 1});
+}
+
+void MemoryBus::advance_time(SimTime now) {
+  MHM_ASSERT(now >= last_time_,
+             "MemoryBus::advance_time: time must not go backwards");
+  last_time_ = now;
+  for (auto* obs : observers_) obs->on_time(now);
+}
+
+}  // namespace mhm::hw

@@ -1,0 +1,16 @@
+#include "hw/trace_recorder.hpp"
+
+namespace mhm::hw {
+
+std::uint64_t TraceRecorder::total_accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& b : bursts_) total += b.total_accesses();
+  return total;
+}
+
+void TraceRecorder::replay(MemoryBus& bus, SimTime end_time) const {
+  for (const auto& b : bursts_) bus.publish(b);
+  bus.advance_time(end_time);
+}
+
+}  // namespace mhm::hw

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/memory_bus.hpp"
+
+namespace mhm::hw {
+
+/// Bus observer that records every burst — useful for tests, debugging and
+/// for replaying a captured access stream through alternative hardware
+/// configurations (e.g. the same run snooped pre- and post-cache).
+class TraceRecorder final : public BusObserver {
+ public:
+  void on_burst(const AccessBurst& burst) override { bursts_.push_back(burst); }
+
+  const std::vector<AccessBurst>& bursts() const { return bursts_; }
+  void clear() { bursts_.clear(); }
+
+  std::uint64_t total_accesses() const;
+
+  /// Replay the recorded stream onto `bus`, including a final
+  /// advance_time(end_time) so interval timers flush.
+  void replay(MemoryBus& bus, SimTime end_time) const;
+
+ private:
+  std::vector<AccessBurst> bursts_;
+};
+
+}  // namespace mhm::hw

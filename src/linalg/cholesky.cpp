@@ -1,0 +1,101 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mhm::linalg {
+
+Cholesky::Cholesky(const Matrix& a, double jitter) {
+  MHM_ASSERT(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      if (i == j) sum += jitter;
+      for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          throw NumericalError(
+              "Cholesky: matrix is not positive definite (pivot " +
+              std::to_string(i) + " = " + std::to_string(sum) + ")");
+        }
+        l_(i, i) = std::sqrt(sum);
+      } else {
+        l_(i, j) = sum / l_(j, j);
+      }
+    }
+  }
+}
+
+Vector Cholesky::forward_solve(std::span<const double> b) const {
+  MHM_ASSERT(b.size() == dim(), "forward_solve: dimension mismatch");
+  Vector y(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::solve(std::span<const double> b) const {
+  Vector y = forward_solve(b);
+  // Backward substitution with L^T.
+  const std::size_t n = dim();
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l_(k, i) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  return y;
+}
+
+double Cholesky::log_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+double Cholesky::mahalanobis_squared(std::span<const double> x) const {
+  const Vector y = forward_solve(x);
+  return dot(y, y);
+}
+
+Vector Cholesky::transform_standard_normal(std::span<const double> z) const {
+  MHM_ASSERT(z.size() == dim(), "transform_standard_normal: dim mismatch");
+  Vector out(dim(), 0.0);
+  for (std::size_t i = 0; i < dim(); ++i) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) sum += l_(i, k) * z[k];
+    out[i] = sum;
+  }
+  return out;
+}
+
+RegularizedCholesky cholesky_with_regularization(const Matrix& a,
+                                                 double initial_jitter,
+                                                 double max_jitter) {
+  double jitter = initial_jitter;
+  for (;;) {
+    try {
+      return RegularizedCholesky{Cholesky(a, jitter), jitter};
+    } catch (const NumericalError&) {
+      if (jitter == 0.0) {
+        // Scale the first attempt to the matrix magnitude.
+        jitter = 1e-9 * std::max(1.0, a.max_abs());
+      } else {
+        jitter *= 10.0;
+      }
+      if (jitter > max_jitter) {
+        throw NumericalError(
+            "cholesky_with_regularization: matrix remained indefinite up to "
+            "jitter " +
+            std::to_string(max_jitter));
+      }
+    }
+  }
+}
+
+}  // namespace mhm::linalg

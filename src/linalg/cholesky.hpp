@@ -1,0 +1,56 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace mhm::linalg {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+///
+/// The GMM stage evaluates multivariate Gaussian log densities thousands of
+/// times per second; it keeps one Cholesky factor per mixture component and
+/// uses `solve_in_place` / `log_det` for the quadratic form and normalizer.
+class Cholesky {
+ public:
+  /// Factorizes `a`. Throws NumericalError if `a` is not (numerically)
+  /// positive definite. `jitter` is added to the diagonal before
+  /// factorization (covariance regularization), 0 to disable.
+  explicit Cholesky(const Matrix& a, double jitter = 0.0);
+
+  std::size_t dim() const { return l_.rows(); }
+  const Matrix& lower() const { return l_; }
+
+  /// Solve A x = b; returns x.
+  Vector solve(std::span<const double> b) const;
+
+  /// Solve L y = b (forward substitution only). The Mahalanobis distance
+  /// x^T A^{-1} x equals |y|^2 where L y = x, which is what the Gaussian
+  /// density needs.
+  Vector forward_solve(std::span<const double> b) const;
+
+  /// log(det(A)) = 2 * sum_i log(L_ii).
+  double log_det() const;
+
+  /// Squared Mahalanobis distance x^T A^{-1} x.
+  double mahalanobis_squared(std::span<const double> x) const;
+
+  /// y = L * z maps iid standard normals z to samples with covariance A
+  /// (used by tests and the synthetic GMM sampler).
+  Vector transform_standard_normal(std::span<const double> z) const;
+
+ private:
+  Matrix l_;  ///< Lower-triangular factor (upper part kept zero).
+};
+
+/// Try to factorize with escalating diagonal jitter until success; returns
+/// the factorization and the jitter actually used. Throws NumericalError if
+/// even `max_jitter` fails. This is the standard EM covariance fix-up.
+struct RegularizedCholesky {
+  Cholesky factor;
+  double jitter_used;
+};
+RegularizedCholesky cholesky_with_regularization(const Matrix& a,
+                                                 double initial_jitter = 0.0,
+                                                 double max_jitter = 1e3);
+
+}  // namespace mhm::linalg

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace mhm::linalg {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T.
+/// Eigenvalues are sorted in *decreasing* order (the order the eigenmemory
+/// selection step wants); eigenvectors_ column k corresponds to value k and
+/// has unit norm.
+struct SymmetricEigenResult {
+  Vector eigenvalues;    ///< size n, decreasing
+  Matrix eigenvectors;   ///< n x n; column k is the k-th eigenvector
+};
+
+/// Full symmetric eigendecomposition via Householder tridiagonalization
+/// followed by the implicit-shift QL iteration. O(n^3), robust for the
+/// dense covariance matrices produced by MHM training sets (n up to ~2000).
+///
+/// Throws NumericalError if QL fails to converge (pathological input) and
+/// LogicError if `a` is not square/symmetric within `symmetry_tol`.
+SymmetricEigenResult eigen_symmetric(const Matrix& a,
+                                     double symmetry_tol = 1e-8);
+
+/// Cyclic Jacobi eigendecomposition. Slower (used for cross-checking the
+/// QL path in tests and for small matrices) but unconditionally stable.
+SymmetricEigenResult eigen_symmetric_jacobi(const Matrix& a,
+                                            int max_sweeps = 64,
+                                            double tol = 1e-12);
+
+/// Reconstruct V diag(w) V^T — used by tests to verify decompositions.
+Matrix reconstruct(const SymmetricEigenResult& eig);
+
+}  // namespace mhm::linalg

@@ -1,0 +1,84 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mhm::linalg {
+
+Lu::Lu(const Matrix& a) : lu_(a) {
+  MHM_ASSERT(a.rows() == a.cols(), "Lu: matrix must be square");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest-magnitude entry in column k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(lu_(i, k)) > best) {
+        best = std::abs(lu_(i, k));
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) {
+      throw NumericalError("Lu: matrix is singular at pivot " +
+                           std::to_string(k));
+    }
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(lu_(pivot, j), lu_(k, j));
+      }
+      std::swap(perm_[pivot], perm_[k]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lu_(i, k) /= lu_(k, k);
+      const double lik = lu_(i, k);
+      if (lik == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        lu_(i, j) -= lik * lu_(k, j);
+      }
+    }
+  }
+}
+
+Vector Lu::solve(std::span<const double> b) const {
+  MHM_ASSERT(b.size() == dim(), "Lu::solve: dimension mismatch");
+  const std::size_t n = dim();
+  Vector x(n);
+  // Apply permutation, then forward substitution (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) x[i] -= lu_(i, k) * x[k];
+  }
+  // Backward substitution with U.
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t k = i + 1; k < n; ++k) x[i] -= lu_(i, k) * x[k];
+    x[i] /= lu_(i, i);
+  }
+  return x;
+}
+
+Matrix Lu::inverse() const {
+  const std::size_t n = dim();
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e.assign(n, 0.0);
+    e[c] = 1.0;
+    const Vector col = solve(e);
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+double Lu::det() const {
+  double d = static_cast<double>(pivot_sign_);
+  for (std::size_t i = 0; i < dim(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+}  // namespace mhm::linalg

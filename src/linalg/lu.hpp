@@ -1,0 +1,34 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace mhm::linalg {
+
+/// LU factorization with partial pivoting, P A = L U.
+/// Used for general (non-SPD) solves and matrix inversion in tests and the
+/// PCA whitening utilities.
+class Lu {
+ public:
+  /// Factorizes `a` (must be square). Throws NumericalError if singular to
+  /// working precision.
+  explicit Lu(const Matrix& a);
+
+  std::size_t dim() const { return lu_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(std::span<const double> b) const;
+
+  /// Inverse of A (column-by-column solve).
+  Matrix inverse() const;
+
+  /// Determinant of A.
+  double det() const;
+
+ private:
+  Matrix lu_;                      ///< Combined L (unit diag) and U.
+  std::vector<std::size_t> perm_;  ///< Row permutation.
+  int pivot_sign_ = 1;
+};
+
+}  // namespace mhm::linalg

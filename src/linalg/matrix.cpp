@@ -1,0 +1,130 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mhm::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    MHM_ASSERT(rows[r].size() == m.cols(), "from_rows: ragged input");
+    std::copy(rows[r].begin(), rows[r].end(), m.row(r).begin());
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::col_vector(std::size_t c) const {
+  MHM_ASSERT(c < cols_, "col_vector: column out of range");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  MHM_ASSERT(a.cols() == b.rows(), "multiply: inner dimensions mismatch");
+  Matrix c(a.rows(), b.cols(), 0.0);
+  // i-k-j loop order keeps the inner loop contiguous for row-major storage.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto crow = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const auto brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Vector multiply(const Matrix& a, std::span<const double> x) {
+  MHM_ASSERT(a.cols() == x.size(), "multiply(Mv): dimension mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+  return y;
+}
+
+Vector multiply_transpose(const Matrix& a, std::span<const double> x) {
+  MHM_ASSERT(a.rows() == x.size(), "multiply_transpose: dimension mismatch");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    axpy(x[i], a.row(i), y);
+  }
+  return y;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  MHM_ASSERT(a.same_shape(b), "add: shape mismatch");
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.data().size(); ++i) c.data()[i] += b.data()[i];
+  return c;
+}
+
+Matrix subtract(const Matrix& a, const Matrix& b) {
+  MHM_ASSERT(a.same_shape(b), "subtract: shape mismatch");
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.data().size(); ++i) c.data()[i] -= b.data()[i];
+  return c;
+}
+
+Matrix scaled(const Matrix& a, double alpha) {
+  Matrix c = a;
+  for (double& v : c.data()) v *= alpha;
+  return c;
+}
+
+void syr_update(Matrix& a, double alpha, std::span<const double> x) {
+  MHM_ASSERT(a.rows() == a.cols() && a.rows() == x.size(),
+             "syr_update: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double axi = alpha * x[i];
+    if (axi == 0.0) continue;
+    auto arow = a.row(i);
+    for (std::size_t j = 0; j < x.size(); ++j) arow[j] += axi * x[j];
+  }
+}
+
+double max_asymmetry(const Matrix& a) {
+  MHM_ASSERT(a.rows() == a.cols(), "max_asymmetry: square matrix required");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      m = std::max(m, std::abs(a(i, j) - a(j, i)));
+    }
+  }
+  return m;
+}
+
+}  // namespace mhm::linalg

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace mhm::linalg {
+
+/// Dense row-major matrix of doubles. Sized for the covariance matrices in
+/// this project (up to ~2,000 x 2,000 for full-resolution MHMs).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Build from nested initializer-style data; every row must have `cols()`
+  /// entries.
+  static Matrix from_rows(const std::vector<Vector>& rows);
+
+  /// Identity matrix.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return std::span<double>(data_).subspan(r * cols_, cols_);
+  }
+  std::span<const double> row(std::size_t r) const {
+    return std::span<const double>(data_).subspan(r * cols_, cols_);
+  }
+
+  /// Extract column `c` as a vector (copy).
+  Vector col_vector(std::size_t c) const;
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Largest |a_ij|.
+  double max_abs() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B. Shapes must be compatible.
+Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// y = A * x.
+Vector multiply(const Matrix& a, std::span<const double> x);
+
+/// y = A^T * x (without materializing the transpose).
+Vector multiply_transpose(const Matrix& a, std::span<const double> x);
+
+/// A + B and A - B.
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix subtract(const Matrix& a, const Matrix& b);
+
+/// alpha * A.
+Matrix scaled(const Matrix& a, double alpha);
+
+/// Symmetric rank-1 update A += alpha * x x^T (A must be square, |x|=n).
+void syr_update(Matrix& a, double alpha, std::span<const double> x);
+
+/// Maximum asymmetry |a_ij - a_ji|; 0 for exactly symmetric matrices.
+double max_asymmetry(const Matrix& a);
+
+}  // namespace mhm::linalg

@@ -1,0 +1,57 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mhm::linalg {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  MHM_ASSERT(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  MHM_ASSERT(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+Vector subtract(std::span<const double> a, std::span<const double> b) {
+  MHM_ASSERT(a.size() == b.size(), "subtract: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector add(std::span<const double> a, std::span<const double> b) {
+  MHM_ASSERT(a.size() == b.size(), "add: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  MHM_ASSERT(a.size() == b.size(), "squared_distance: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double normalize(std::span<double> a) {
+  const double n = norm2(a);
+  if (n > 0.0) scale(a, 1.0 / n);
+  return n;
+}
+
+}  // namespace mhm::linalg

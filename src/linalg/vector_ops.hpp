@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mhm::linalg {
+
+/// Dense real vector. A plain std::vector<double> keeps interop with the
+/// rest of the code trivial; all operations live in free functions below.
+using Vector = std::vector<double>;
+
+/// Inner product. Sizes must match.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+double norm2(std::span<const double> a);
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha
+void scale(std::span<double> x, double alpha);
+
+/// Elementwise a - b.
+Vector subtract(std::span<const double> a, std::span<const double> b);
+
+/// Elementwise a + b.
+Vector add(std::span<const double> a, std::span<const double> b);
+
+/// Squared Euclidean distance between a and b.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+/// Normalize to unit 2-norm in place; returns the original norm. A zero
+/// vector is left untouched and 0 is returned.
+double normalize(std::span<double> a);
+
+}  // namespace mhm::linalg

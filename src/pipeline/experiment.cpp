@@ -1,0 +1,147 @@
+#include "pipeline/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mhm::pipeline {
+
+HeatMapTrace collect_normal_trace(const sim::SystemConfig& config,
+                                  const ProfilingPlan& plan) {
+  HeatMapTrace all;
+  for (std::size_t run = 0; run < plan.runs; ++run) {
+    sim::SystemConfig cfg = config;
+    cfg.seed = plan.seed_base + run;
+    sim::System system(cfg);
+    system.run_for(plan.run_duration);
+    HeatMapTrace trace = system.take_trace();
+    const std::size_t skip = std::min(plan.warmup_intervals, trace.size());
+    all.insert(all.end(),
+               std::make_move_iterator(trace.begin() + static_cast<std::ptrdiff_t>(skip)),
+               std::make_move_iterator(trace.end()));
+  }
+  return all;
+}
+
+std::size_t ScenarioRun::intervals_before_trigger() const {
+  std::size_t n = 0;
+  for (const auto& m : maps) n += (m.interval_index < trigger_interval);
+  return n;
+}
+
+std::size_t ScenarioRun::intervals_after_trigger() const {
+  return maps.size() - intervals_before_trigger();
+}
+
+std::size_t ScenarioRun::false_positives_before_trigger(
+    double threshold) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    if (maps[i].interval_index < trigger_interval &&
+        log10_densities[i] < threshold) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t ScenarioRun::detections_after_trigger(double threshold) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    if (maps[i].interval_index >= trigger_interval &&
+        log10_densities[i] < threshold) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::optional<std::uint64_t> ScenarioRun::detection_latency(
+    double threshold) const {
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    if (maps[i].interval_index >= trigger_interval &&
+        log10_densities[i] < threshold) {
+      return maps[i].interval_index - trigger_interval;
+    }
+  }
+  return std::nullopt;
+}
+
+ScenarioRun run_scenario(const sim::SystemConfig& config,
+                         attacks::AttackScenario* attack,
+                         SimTime trigger_time, SimTime duration,
+                         const AnomalyDetector* detector,
+                         std::uint64_t seed) {
+  sim::SystemConfig cfg = config;
+  cfg.seed = seed;
+  sim::System system(cfg);
+
+  ScenarioRun result;
+  result.scenario = attack != nullptr ? attack->name() : "normal";
+  result.interval = cfg.monitor.interval;
+  result.trigger_interval =
+      attack != nullptr
+          ? attacks::AttackScenario::trigger_interval(trigger_time,
+                                                      cfg.monitor.interval)
+          : std::numeric_limits<std::uint64_t>::max();
+
+  if (attack != nullptr) attack->arm(system, trigger_time);
+
+  // Secure-core hook: analyze every interval as the Memometer finishes it.
+  system.set_interval_observer([&](const HeatMap& map) {
+    result.traffic_volumes.push_back(
+        static_cast<double>(map.total_accesses()));
+    if (detector != nullptr) {
+      Verdict v = detector->analyze(map);
+      result.log10_densities.push_back(v.log10_density);
+      result.verdicts.push_back(v);
+    }
+  });
+  system.run_for(duration);
+  result.maps = system.take_trace();
+  return result;
+}
+
+TrainedPipeline train_pipeline(const sim::SystemConfig& config,
+                               const ProfilingPlan& plan,
+                               const AnomalyDetector::Options& options) {
+  TrainedPipeline out;
+  out.training = collect_normal_trace(config, plan);
+
+  // Separate normal runs (disjoint seeds) for threshold calibration.
+  ProfilingPlan validation_plan = plan;
+  validation_plan.runs = std::max<std::size_t>(1, plan.runs / 5);
+  validation_plan.seed_base = plan.seed_base + plan.runs + 1000;
+  out.validation = collect_normal_trace(config, validation_plan);
+
+  out.detector = std::make_unique<AnomalyDetector>(
+      AnomalyDetector::train(out.training, out.validation, options));
+  out.theta_05 = out.detector->thresholds().theta_05();
+  out.theta_1 = out.detector->thresholds().theta_1();
+  return out;
+}
+
+sim::SystemConfig fast_test_config(std::uint64_t seed) {
+  sim::SystemConfig cfg = sim::SystemConfig::paper_default(seed);
+  cfg.monitor.granularity = 8 * 1024;  // L = 368 cells
+  return cfg;
+}
+
+ProfilingPlan fast_test_plan() {
+  ProfilingPlan plan;
+  plan.runs = 3;
+  plan.run_duration = 1 * kSecond;
+  plan.seed_base = 100;
+  return plan;
+}
+
+AnomalyDetector::Options fast_test_detector_options() {
+  AnomalyDetector::Options opts;
+  opts.pca.components = 8;
+  opts.gmm.components = 5;
+  opts.gmm.restarts = 3;
+  opts.gmm.max_iterations = 100;
+  return opts;
+}
+
+}  // namespace mhm::pipeline

@@ -1,0 +1,151 @@
+#include "sim/kernel_image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mhm::sim {
+
+namespace {
+
+struct SubsystemPlan {
+  const char* name;
+  double fraction;  ///< Share of .text; normalized during layout.
+};
+
+/// Link-order plan loosely following an embedded Linux kernel's section map.
+/// Fractions approximate the relative .text footprint of each subsystem.
+constexpr SubsystemPlan kPlan[] = {
+    {"entry", 0.010},      // low-level entry/exit stubs, vector handling
+    {"sched", 0.045},      // scheduler core, context switch
+    {"irq", 0.025},        // interrupt dispatch
+    {"time", 0.030},       // timers, clock events, hrtimers
+    {"syscall", 0.015},    // syscall dispatch table + wrappers
+    {"signal", 0.030},     // signal delivery
+    {"fork_exec", 0.060},  // process creation/teardown (fork/exec/exit)
+    {"mm", 0.110},         // memory management, page fault, mmap/brk
+    {"fs", 0.180},         // VFS + embedded filesystem
+    {"ipc", 0.030},        // pipes, futex, sysv ipc
+    {"module", 0.025},     // module loader
+    {"security", 0.020},   // LSM hooks, capability checks
+    {"drivers", 0.190},    // char/block/console drivers
+    {"net", 0.130},        // network stack
+    {"crypto", 0.040},     // crypto primitives
+    {"lib", 0.060},        // memcpy/string/bitops helpers
+};
+
+}  // namespace
+
+KernelImage::KernelImage(const Params& params) : params_(params) {
+  if (params_.text_size == 0) {
+    throw ConfigError("KernelImage: text_size must be positive");
+  }
+  build_layout();
+}
+
+void KernelImage::build_layout() {
+  double fraction_sum = 0.0;
+  for (const auto& plan : kPlan) fraction_sum += plan.fraction;
+
+  Rng rng(params_.seed);
+  Address cursor = params_.base;
+  const Address text_end_addr = text_end();
+
+  for (const auto& plan : kPlan) {
+    KernelSubsystem sub;
+    sub.name = plan.name;
+    sub.text_fraction = plan.fraction / fraction_sum;
+    sub.begin = cursor;
+    const auto span = static_cast<std::uint64_t>(
+        sub.text_fraction * static_cast<double>(params_.text_size));
+    Address sub_end = std::min<Address>(cursor + span, text_end_addr);
+    if (&plan == &kPlan[std::size(kPlan) - 1]) {
+      sub_end = text_end_addr;  // last subsystem absorbs rounding slack
+    }
+    sub.first_function = functions_.size();
+
+    Rng sub_rng = rng.fork(subsystems_.size() + 1);
+    std::size_t fn_counter = 0;
+    while (cursor + 16 <= sub_end) {
+      // Log-normal function sizes, 4-byte aligned, min 16 bytes.
+      const double raw = params_.mean_function_size *
+                         sub_rng.lognormal_jitter(params_.function_size_sigma);
+      std::uint64_t size =
+          std::max<std::uint64_t>(16, static_cast<std::uint64_t>(raw) & ~3ull);
+      size = std::min<std::uint64_t>(size, sub_end - cursor);
+      KernelFunction fn;
+      fn.name = sub.name + "_fn" + std::to_string(fn_counter++);
+      fn.address = cursor;
+      fn.size_bytes = size;
+      fn.subsystem = subsystems_.size();
+      functions_.push_back(std::move(fn));
+      cursor += size;
+    }
+    // Any tail smaller than a minimal function merges into the last one.
+    if (cursor < sub_end && !functions_.empty() &&
+        functions_.back().subsystem == subsystems_.size()) {
+      functions_.back().size_bytes += sub_end - cursor;
+    }
+    cursor = sub_end;
+    sub.end = sub_end;
+    sub.function_count = functions_.size() - sub.first_function;
+    subsystem_by_name_[sub.name] = subsystems_.size();
+    subsystems_.push_back(std::move(sub));
+  }
+  MHM_ASSERT(cursor == text_end_addr, "KernelImage: layout must cover .text");
+}
+
+const KernelFunction& KernelImage::function(std::size_t index) const {
+  MHM_ASSERT(index < functions_.size(), "KernelImage: function out of range");
+  return functions_[index];
+}
+
+std::size_t KernelImage::subsystem_index(const std::string& name) const {
+  const auto it = subsystem_by_name_.find(name);
+  if (it == subsystem_by_name_.end()) {
+    throw ConfigError("KernelImage: unknown subsystem '" + name + "'");
+  }
+  return it->second;
+}
+
+const KernelSubsystem& KernelImage::subsystem(const std::string& name) const {
+  return subsystems_[subsystem_index(name)];
+}
+
+std::vector<std::size_t> KernelImage::pick_functions(
+    const std::string& subsystem_name, std::size_t count,
+    std::uint64_t salt) const {
+  const KernelSubsystem& sub = subsystems_[subsystem_index(subsystem_name)];
+  MHM_ASSERT(sub.function_count > 0, "pick_functions: empty subsystem");
+  count = std::min(count, sub.function_count);
+
+  // Deterministic spread: stride through the subsystem starting at a
+  // salt-dependent offset, so distinct services touch distinct (but
+  // overlapping, as in a real call graph) function sets.
+  Rng rng(params_.seed ^ (salt * 0x9E3779B97F4A7C15ull));
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  const std::size_t start = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(sub.function_count) - 1));
+  const std::size_t stride =
+      std::max<std::size_t>(1, sub.function_count / (count + 1));
+  for (std::size_t k = 0; k < count; ++k) {
+    out.push_back(sub.first_function +
+                  (start + k * stride) % sub.function_count);
+  }
+  return out;
+}
+
+const KernelFunction* KernelImage::function_at(Address addr) const {
+  if (addr < params_.base || addr >= text_end()) return nullptr;
+  // Binary search over the sorted function start addresses.
+  auto it = std::upper_bound(
+      functions_.begin(), functions_.end(), addr,
+      [](Address a, const KernelFunction& f) { return a < f.address; });
+  if (it == functions_.begin()) return nullptr;
+  --it;
+  return addr < it->end() ? &*it : nullptr;
+}
+
+}  // namespace mhm::sim

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace mhm::sim {
+
+/// One kernel function: a contiguous chunk of the synthetic .text segment.
+struct KernelFunction {
+  std::string name;
+  Address address = 0;
+  std::uint64_t size_bytes = 0;
+  std::size_t subsystem = 0;  ///< Index into KernelImage::subsystems().
+
+  Address end() const { return address + size_bytes; }
+};
+
+/// A kernel subsystem: a named, contiguous group of functions (sched, mm,
+/// fs, ...), mirroring how a real kernel's link order clusters related code.
+struct KernelSubsystem {
+  std::string name;
+  double text_fraction = 0.0;  ///< Share of the .text segment.
+  Address begin = 0;
+  Address end = 0;
+  std::size_t first_function = 0;
+  std::size_t function_count = 0;
+};
+
+/// Synthetic kernel .text image.
+///
+/// Substitutes for the embedded Linux 3.4 kernel of the paper's prototype:
+/// the monitored region is a fixed, linearly mapped segment starting at
+/// 0xC0008000 and spanning 3,013,284 bytes (1,472 cells at δ = 2 KB).
+/// Subsystems are laid out in link order; each contains functions whose
+/// sizes follow a log-normal distribution, generated deterministically from
+/// a seed. Kernel *services* (sim/kernel_services.hpp) reference these
+/// functions to describe which code a syscall path executes.
+class KernelImage {
+ public:
+  /// Layout parameters.
+  struct Params {
+    Address base = 0xC0008000;
+    std::uint64_t text_size = 3'013'284;
+    double mean_function_size = 480.0;   ///< Bytes; log-normal median-ish.
+    double function_size_sigma = 0.9;    ///< Log-normal shape.
+    std::uint64_t seed = 0xCAFE;
+  };
+
+  /// Build the default subsystem plan (entry/sched/irq/time/syscall-dispatch/
+  /// fs/mm/kernel-core/ipc/drivers/net/crypto/lib) and generate functions.
+  explicit KernelImage(const Params& params);
+  KernelImage() : KernelImage(Params{}) {}
+
+  Address base() const { return params_.base; }
+  std::uint64_t text_size() const { return params_.text_size; }
+  Address text_end() const { return params_.base + params_.text_size; }
+
+  const std::vector<KernelFunction>& functions() const { return functions_; }
+  const std::vector<KernelSubsystem>& subsystems() const { return subsystems_; }
+
+  const KernelFunction& function(std::size_t index) const;
+
+  /// Index of the subsystem with this name; throws ConfigError if unknown.
+  std::size_t subsystem_index(const std::string& name) const;
+  const KernelSubsystem& subsystem(const std::string& name) const;
+
+  /// Pick `count` function indices from a subsystem, deterministically
+  /// spread across it (used to build service call paths). `salt`
+  /// de-correlates different services drawing from the same subsystem.
+  std::vector<std::size_t> pick_functions(const std::string& subsystem_name,
+                                          std::size_t count,
+                                          std::uint64_t salt) const;
+
+  /// The function containing `addr`, or nullptr if the address falls outside
+  /// every function (alignment padding / outside .text).
+  const KernelFunction* function_at(Address addr) const;
+
+ private:
+  void build_layout();
+
+  Params params_;
+  std::vector<KernelSubsystem> subsystems_;
+  std::vector<KernelFunction> functions_;
+  std::unordered_map<std::string, std::size_t> subsystem_by_name_;
+};
+
+}  // namespace mhm::sim

@@ -1,0 +1,200 @@
+#include "sim/task.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mhm::sim {
+
+double TaskSpec::utilization() const {
+  MHM_ASSERT(period > 0, "TaskSpec::utilization: period must be positive");
+  return static_cast<double>(exec_time) / static_cast<double>(period);
+}
+
+void TaskSpec::validate() const {
+  if (name.empty()) throw ConfigError("TaskSpec: name must be non-empty");
+  if (period == 0) throw ConfigError("TaskSpec '" + name + "': period == 0");
+  if (exec_time == 0 || exec_time > period) {
+    throw ConfigError("TaskSpec '" + name +
+                      "': exec_time must be in (0, period]");
+  }
+  for (const auto& sc : syscalls) {
+    if (sc.calls_per_job < 0.0 || sc.window_begin < 0.0 ||
+        sc.window_end > 1.0 || sc.window_begin > sc.window_end) {
+      throw ConfigError("TaskSpec '" + name + "': bad syscall usage for '" +
+                        sc.service + "'");
+    }
+  }
+}
+
+std::vector<TaskSpec> paper_task_set() {
+  std::vector<TaskSpec> tasks;
+
+  {  // FFT — telecomm; samples a clock, light I/O.
+    TaskSpec t;
+    t.name = "FFT";
+    t.exec_time = 2 * kMillisecond;
+    t.period = 10 * kMillisecond;
+    t.user_text_base = 0x0001'0000;
+    t.syscalls = {
+        {.service = "sys_gettimeofday", .calls_per_job = 2},
+        {.service = "sys_read", .calls_per_job = 1, .window_begin = 0.0,
+         .window_end = 0.2},
+        {.service = "sys_write", .calls_per_job = 1, .window_begin = 0.8,
+         .window_end = 1.0},
+    };
+    tasks.push_back(std::move(t));
+  }
+  {  // bitcount — automotive; almost pure computation.
+    TaskSpec t;
+    t.name = "bitcount";
+    t.exec_time = 3 * kMillisecond;
+    t.period = 20 * kMillisecond;
+    t.user_text_base = 0x0003'0000;
+    t.syscalls = {
+        {.service = "sys_gettimeofday", .calls_per_job = 1},
+        {.service = "sys_write", .calls_per_job = 1, .window_begin = 0.9,
+         .window_end = 1.0},
+    };
+    tasks.push_back(std::move(t));
+  }
+  {  // basicmath — automotive; some memory management traffic.
+    TaskSpec t;
+    t.name = "basicmath";
+    t.exec_time = 9 * kMillisecond;
+    t.period = 50 * kMillisecond;
+    t.user_text_base = 0x0005'0000;
+    t.syscalls = {
+        {.service = "sys_gettimeofday", .calls_per_job = 1},
+        {.service = "sys_brk", .calls_per_job = 2, .window_begin = 0.0,
+         .window_end = 0.3},
+        {.service = "sys_write", .calls_per_job = 2, .window_begin = 0.5,
+         .window_end = 1.0},
+    };
+    tasks.push_back(std::move(t));
+  }
+  {  // sha — security; streams its input through many read() calls, which
+     // is what couples it to the rootkit's read hijack in §5.3-3.
+    TaskSpec t;
+    t.name = "sha";
+    t.exec_time = 25 * kMillisecond;
+    t.period = 100 * kMillisecond;
+    t.user_text_base = 0x0007'0000;
+    t.syscalls = {
+        {.service = "sys_open", .calls_per_job = 1, .window_begin = 0.0,
+         .window_end = 0.05},
+        {.service = "sys_read", .calls_per_job = 100, .window_begin = 0.05,
+         .window_end = 0.9},
+        {.service = "sys_close", .calls_per_job = 1, .window_begin = 0.9,
+         .window_end = 1.0},
+        {.service = "sys_write", .calls_per_job = 1, .window_begin = 0.95,
+         .window_end = 1.0},
+    };
+    tasks.push_back(std::move(t));
+  }
+
+  for (auto& t : tasks) t.validate();
+  return tasks;
+}
+
+std::vector<TaskSpec> avionics_task_set() {
+  // Harmonic rate groups, the classic avionics arrangement: each period
+  // divides the next, so the hyperperiod equals the slowest period (80 ms)
+  // and the schedule repeats quickly. Syscall usage is lean — mostly clock
+  // reads and short I/O — as in a federated RTOS partition.
+  struct Plan {
+    const char* name;
+    SimTime exec;
+    SimTime period;
+    Address text_base;
+  };
+  const Plan plans[] = {
+      {"attitude_ctrl", 1 * kMillisecond, 5 * kMillisecond, 0x0011'0000},
+      {"rate_damping", 2 * kMillisecond, 10 * kMillisecond, 0x0013'0000},
+      {"nav_filter", 4 * kMillisecond, 20 * kMillisecond, 0x0015'0000},
+      {"guidance", 6 * kMillisecond, 40 * kMillisecond, 0x0017'0000},
+      {"telemetry", 8 * kMillisecond, 80 * kMillisecond, 0x0019'0000},
+  };
+  std::vector<TaskSpec> tasks;
+  for (const auto& plan : plans) {
+    TaskSpec t;
+    t.name = plan.name;
+    t.exec_time = plan.exec;
+    t.period = plan.period;
+    t.user_text_base = plan.text_base;
+    t.exec_sigma = 0.005;  // RTOS-grade execution-time determinism
+    t.syscalls = {
+        {.service = "sys_gettimeofday", .calls_per_job = 1},
+        {.service = "sys_read", .calls_per_job = 2, .window_begin = 0.0,
+         .window_end = 0.3},
+        {.service = "sys_write", .calls_per_job = 1, .window_begin = 0.8,
+         .window_end = 1.0},
+    };
+    tasks.push_back(std::move(t));
+  }
+  // telemetry streams more output than the control loops.
+  tasks.back().syscalls.push_back({.service = "sys_write",
+                                   .calls_per_job = 10,
+                                   .window_begin = 0.2,
+                                   .window_end = 0.9});
+  for (auto& t : tasks) t.validate();
+  return tasks;
+}
+
+TaskSpec qsort_task_spec() {
+  // §5.3-1's injected application: sorts a freshly read dataset each job,
+  // so it streams its input through read(), grows its heap while building
+  // the work array and writes the sorted output back.
+  TaskSpec t;
+  t.name = "qsort";
+  t.exec_time = 6 * kMillisecond;
+  t.period = 30 * kMillisecond;
+  t.user_text_base = 0x0009'0000;
+  t.syscalls = {
+      {.service = "sys_open", .calls_per_job = 1, .window_begin = 0.0,
+       .window_end = 0.05},
+      {.service = "sys_read", .calls_per_job = 12, .window_begin = 0.05,
+       .window_end = 0.35},
+      {.service = "sys_brk", .calls_per_job = 3, .window_begin = 0.0,
+       .window_end = 0.3},
+      {.service = "sys_write", .calls_per_job = 5, .window_begin = 0.7,
+       .window_end = 1.0},
+      {.service = "sys_close", .calls_per_job = 1, .window_begin = 0.95,
+       .window_end = 1.0},
+  };
+  t.validate();
+  return t;
+}
+
+TaskSpec shell_task_spec() {
+  TaskSpec t;
+  t.name = "sh";
+  t.exec_time = 500 * kMicrosecond;
+  t.period = 40 * kMillisecond;
+  t.user_text_base = 0x000B'0000;
+  t.syscalls = {
+      {.service = "sys_read", .calls_per_job = 2},
+      {.service = "sys_write", .calls_per_job = 1},
+      {.service = "sys_nanosleep", .calls_per_job = 1, .window_begin = 0.9,
+       .window_end = 1.0},
+  };
+  t.validate();
+  return t;
+}
+
+SimTime hyperperiod(const std::vector<TaskSpec>& tasks) {
+  SimTime lcm = 1;
+  for (const auto& t : tasks) {
+    MHM_ASSERT(t.period > 0, "hyperperiod: zero period");
+    lcm = std::lcm(lcm, t.period);
+  }
+  return lcm;
+}
+
+double total_utilization(const std::vector<TaskSpec>& tasks) {
+  double u = 0.0;
+  for (const auto& t : tasks) u += t.utilization();
+  return u;
+}
+
+}  // namespace mhm::sim

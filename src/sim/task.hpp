@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace mhm::sim {
+
+/// How often a job of a task invokes one kernel service, and where within
+/// the job's execution the invocations cluster.
+struct SyscallUsage {
+  std::string service;      ///< Name in the ServiceCatalog.
+  double calls_per_job = 1; ///< Mean invocations per job (Poisson-ish).
+  /// Placement of the calls inside the job: fraction of the job's execution
+  /// at which the call window starts/ends (0 = job start, 1 = job end).
+  /// E.g. {0, 1} spreads calls across the job; {0, 0.1} front-loads them.
+  double window_begin = 0.0;
+  double window_end = 1.0;
+};
+
+/// Static description of one periodic real-time task.
+///
+/// The default workload reproduces the paper's §5.1 task table:
+///   FFT        2 ms / 10 ms   (telecomm)
+///   bitcount   3 ms / 20 ms   (automotive)
+///   basicmath  9 ms / 50 ms   (automotive)
+///   sha       25 ms / 100 ms  (security)  — read-heavy (§5.3-3)
+/// plus the attack-scenario task qsort (6 ms / 30 ms, §5.3-1).
+struct TaskSpec {
+  std::string name;
+  SimTime exec_time = 0;      ///< Mean pure-execution demand per job.
+  SimTime period = 0;         ///< Release period (deadline = next release).
+  SimTime phase = 0;          ///< First release time offset.
+  double exec_sigma = 0.02;   ///< Log-normal jitter on per-job demand.
+  std::vector<SyscallUsage> syscalls;
+  /// User-space address where the task's own code lives. Fetches there are
+  /// emitted on the bus but fall outside the monitored kernel region — they
+  /// exercise the Memometer's address filter like real user code would.
+  Address user_text_base = 0x0001'0000;
+  std::uint64_t user_text_size = 64 * 1024;
+
+  /// Utilization = exec_time / period.
+  double utilization() const;
+
+  /// Throws ConfigError if exec_time/period are inconsistent.
+  void validate() const;
+};
+
+/// The paper's four-task MiBench-like workload (78 % utilization).
+std::vector<TaskSpec> paper_task_set();
+
+/// A harmonic avionics-style workload (five rate groups at 5/10/20/40/80 ms,
+/// all periods dividing the next): tighter determinism assumptions than the
+/// MiBench set and a short hyperperiod, the kind of RTOS workload the
+/// paper's conclusion targets. ~72 % utilization.
+std::vector<TaskSpec> avionics_task_set();
+
+/// The qsort task injected by the application-addition scenario (§5.3-1).
+TaskSpec qsort_task_spec();
+
+/// A small interactive-shell process, spawned by the shellcode scenario.
+TaskSpec shell_task_spec();
+
+/// Least common multiple of all task periods (the hyperperiod).
+SimTime hyperperiod(const std::vector<TaskSpec>& tasks);
+
+/// Total utilization of a task set.
+double total_utilization(const std::vector<TaskSpec>& tasks);
+
+}  // namespace mhm::sim

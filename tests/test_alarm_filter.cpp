@@ -1,0 +1,103 @@
+#include "core/alarm_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mhm {
+namespace {
+
+TEST(AlarmFilter, ValidatesParameters) {
+  EXPECT_THROW(AlarmFilter(0, 5), ConfigError);
+  EXPECT_THROW(AlarmFilter(3, 0), ConfigError);
+  EXPECT_THROW(AlarmFilter(6, 5), ConfigError);
+  EXPECT_NO_THROW(AlarmFilter(1, 1));
+  EXPECT_NO_THROW(AlarmFilter(5, 5));
+}
+
+TEST(AlarmFilter, OneOfOneIsPassThrough) {
+  AlarmFilter filter(1, 1);
+  EXPECT_FALSE(filter.feed(false));
+  EXPECT_TRUE(filter.feed(true));
+  EXPECT_FALSE(filter.feed(false));
+}
+
+TEST(AlarmFilter, RequiresKHitsInWindow) {
+  AlarmFilter filter(2, 3);
+  EXPECT_FALSE(filter.feed(true));   // 1 of last 1
+  EXPECT_FALSE(filter.feed(false));  // 1 of last 2
+  EXPECT_TRUE(filter.feed(true));    // 2 of last 3
+  EXPECT_FALSE(filter.feed(false));  // window [false,true,false]... count 1
+  EXPECT_FALSE(filter.feed(false));  // [true,false,false] -> 1
+  EXPECT_FALSE(filter.feed(false));  // [false,false,false] -> 0
+}
+
+TEST(AlarmFilter, SlidingWindowExpiresOldHits) {
+  AlarmFilter filter(2, 4);
+  EXPECT_FALSE(filter.feed(true));
+  EXPECT_TRUE(filter.feed(true));    // [T,T] -> 2 hits, fires
+  EXPECT_TRUE(filter.feed(false));   // [T,T,F] -> still 2
+  EXPECT_TRUE(filter.feed(false));   // [T,T,F,F] -> still 2
+  EXPECT_FALSE(filter.feed(false));  // [T,F,F,F] -> oldest hit expired
+  EXPECT_EQ(filter.current_count(), 1u);
+}
+
+TEST(AlarmFilter, CountTracksWindowContents) {
+  AlarmFilter filter(3, 5);
+  for (int i = 0; i < 5; ++i) filter.feed(i % 2 == 0);  // T F T F T
+  EXPECT_EQ(filter.current_count(), 3u);
+  filter.feed(false);  // drops the oldest T
+  EXPECT_EQ(filter.current_count(), 2u);
+}
+
+TEST(AlarmFilter, ConsecutiveRunAlwaysFiresAfterK) {
+  AlarmFilter filter(3, 5);
+  EXPECT_FALSE(filter.feed(true));
+  EXPECT_FALSE(filter.feed(true));
+  EXPECT_TRUE(filter.feed(true));
+  EXPECT_TRUE(filter.feed(true));
+}
+
+TEST(AlarmFilter, ResetClearsHistory) {
+  AlarmFilter filter(2, 3);
+  filter.feed(true);
+  filter.feed(true);
+  filter.reset();
+  EXPECT_EQ(filter.current_count(), 0u);
+  EXPECT_FALSE(filter.feed(true));  // needs 2 again
+}
+
+TEST(AlarmFilter, SuppressesIsolatedFalsePositives) {
+  // Property: under iid per-interval FP rate p, a 2-of-3 filter fires far
+  // less often than the raw stream.
+  Rng rng(7);
+  const double p = 0.02;
+  AlarmFilter filter(2, 3);
+  std::size_t raw = 0;
+  std::size_t filtered = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const bool alarm = rng.bernoulli(p);
+    raw += alarm;
+    filtered += filter.feed(alarm);
+  }
+  EXPECT_NEAR(static_cast<double>(raw) / n, p, 0.002);
+  // Expected filtered rate ~ C(3,2) p^2 = 3 * 4e-4 = 1.2e-3.
+  EXPECT_LT(static_cast<double>(filtered) / n, 0.005);
+  EXPECT_GT(raw, filtered * 5);
+}
+
+TEST(AlarmFilter, PreservesDetectionOfSustainedAnomalies) {
+  // An attack that keeps densities low for m >= n intervals is always
+  // caught, with latency at most k-1 extra intervals.
+  AlarmFilter filter(3, 5);
+  int latency = -1;
+  for (int i = 0; i < 10; ++i) {
+    if (filter.feed(true) && latency < 0) latency = i;
+  }
+  EXPECT_EQ(latency, 2);  // k-1
+}
+
+}  // namespace
+}  // namespace mhm

@@ -1,0 +1,180 @@
+#include "attacks/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mhm::attacks {
+namespace {
+
+sim::SystemConfig test_config(std::uint64_t seed = 1) {
+  sim::SystemConfig cfg = sim::SystemConfig::paper_default(seed);
+  cfg.monitor.granularity = 8 * 1024;
+  return cfg;
+}
+
+TEST(MakeScenario, BuildsAllKnownScenarios) {
+  EXPECT_EQ(make_scenario("app_addition")->name(), "app_addition");
+  EXPECT_EQ(make_scenario("shellcode")->name(), "shellcode");
+  EXPECT_EQ(make_scenario("rootkit")->name(), "rootkit");
+  EXPECT_THROW(make_scenario("unknown"), ConfigError);
+}
+
+TEST(AttackScenario, TriggerIntervalArithmetic) {
+  EXPECT_EQ(AttackScenario::trigger_interval(2500 * kMillisecond,
+                                             10 * kMillisecond),
+            250u);
+  EXPECT_EQ(AttackScenario::trigger_interval(0, 10 * kMillisecond), 0u);
+}
+
+TEST(AppAdditionAttack, LaunchesTaskAtTrigger) {
+  sim::System system(test_config());
+  AppAdditionAttack attack;
+  attack.arm(system, 100 * kMillisecond);
+  system.run_for(90 * kMillisecond);
+  EXPECT_THROW(system.scheduler().task("qsort"), ConfigError);
+  system.run_for(210 * kMillisecond);
+  EXPECT_GT(system.scheduler().task("qsort").jobs_completed, 3u);
+}
+
+TEST(AppAdditionAttack, OptionalExitRemovesTask) {
+  sim::System system(test_config());
+  AppAdditionAttack attack(sim::qsort_task_spec(),
+                           /*exit_after=*/150 * kMillisecond);
+  attack.arm(system, 100 * kMillisecond);
+  system.run_for(400 * kMillisecond);
+  EXPECT_FALSE(system.scheduler().task("qsort").active);
+  const auto jobs = system.scheduler().task("qsort").jobs_completed;
+  EXPECT_GT(jobs, 0u);
+  EXPECT_LT(jobs, 7u);  // only ran for ~150 ms at a 30 ms period
+}
+
+TEST(AppAdditionAttack, LaunchEmitsProcessCreationBurst) {
+  // The fork+exec path makes the launch interval's kernel traffic spike
+  // compared with the immediately preceding interval.
+  sim::System system(test_config(3));
+  AppAdditionAttack attack;
+  attack.arm(system, 100 * kMillisecond);
+  system.run_for(300 * kMillisecond);
+  const auto& trace = system.trace();
+  // Compare against the same hyperperiod phase (interval 0): the launch
+  // interval carries the fork+exec burst on top of the phase's baseline.
+  const std::uint64_t same_phase_baseline = trace[0].total_accesses();
+  const std::uint64_t at_launch = trace[10].total_accesses();
+  EXPECT_GT(at_launch, same_phase_baseline + same_phase_baseline / 10);
+}
+
+TEST(ShellcodeAttack, KillsVictimAndSpawnsShell) {
+  sim::System system(test_config());
+  ShellcodeAttack attack("bitcount");
+  attack.arm(system, 100 * kMillisecond);
+  system.run_for(500 * kMillisecond);
+  EXPECT_FALSE(system.scheduler().task("bitcount").active);
+  EXPECT_TRUE(system.scheduler().task("sh").active);
+  EXPECT_GT(system.scheduler().task("sh").jobs_completed, 0u);
+}
+
+TEST(ShellcodeAttack, WithoutShellOnlyKillsHost) {
+  sim::System system(test_config());
+  ShellcodeAttack attack("bitcount", /*spawn_shell=*/false);
+  attack.arm(system, 100 * kMillisecond);
+  system.run_for(400 * kMillisecond);
+  EXPECT_FALSE(system.scheduler().task("bitcount").active);
+  EXPECT_THROW(system.scheduler().task("sh"), ConfigError);
+}
+
+TEST(ShellcodeAttack, VictimRunsNormallyBeforeTrigger) {
+  sim::System system(test_config());
+  ShellcodeAttack attack("bitcount");
+  attack.arm(system, 200 * kMillisecond);
+  system.run_for(190 * kMillisecond);
+  EXPECT_TRUE(system.scheduler().task("bitcount").active);
+  EXPECT_GE(system.scheduler().task("bitcount").jobs_completed, 8u);
+}
+
+TEST(RootkitAttack, LoadsModuleAndAddsLatency) {
+  sim::System system(test_config(5));
+  RootkitAttack attack(40 * kMicrosecond);
+  attack.arm(system, 100 * kMillisecond);
+  system.run_for(300 * kMillisecond);
+  // All tasks keep running (stealthy attack).
+  for (const char* name : {"FFT", "bitcount", "basicmath", "sha"}) {
+    EXPECT_TRUE(system.scheduler().task(name).active) << name;
+  }
+}
+
+TEST(RootkitAttack, LoadIntervalShowsTrafficSpike) {
+  // Figure 9: "The moment when the rootkit is being loaded is
+  // distinguishable"; afterwards volume returns to normal.
+  sim::System system(test_config(6));
+  RootkitAttack attack;
+  attack.arm(system, 100 * kMillisecond);
+  system.run_for(600 * kMillisecond);
+  const auto& trace = system.trace();
+
+  // Volumes legitimately vary across the 10-interval hyperperiod, so
+  // compare interval 10 (which absorbs the load burst) only against
+  // intervals at the same phase.
+  std::uint64_t max_same_phase = 0;
+  for (std::size_t i : {0u, 20u, 30u, 40u, 50u}) {
+    max_same_phase = std::max(max_same_phase, trace[i].total_accesses());
+  }
+  EXPECT_GT(trace[10].total_accesses(), max_same_phase);
+
+  // Post-load, same-phase volume settles back near normal (stealth phase).
+  const std::uint64_t spike = trace[10].total_accesses();
+  for (std::size_t i : {20u, 30u, 40u, 50u}) {
+    EXPECT_LT(trace[i].total_accesses(), spike) << "interval " << i;
+  }
+}
+
+TEST(RootkitAttack, HijackShiftsShaTiming) {
+  // The hijack delay on read() stretches sha's jobs. Its per-job busy time
+  // must grow, visible as a later completion count at a fixed horizon.
+  auto sha_jobs = [](bool with_rootkit) {
+    sim::System system(test_config(7));
+    if (with_rootkit) {
+      RootkitAttack attack(200 * kMicrosecond);
+      attack.arm(system, 50 * kMillisecond);
+    }
+    system.run_for(1 * kSecond);
+    return system.scheduler().task("sha").jobs_completed;
+  };
+  // sha still completes (the system tolerates the overhead)...
+  EXPECT_GT(sha_jobs(true), 5u);
+  // ...and the run with the rootkit burns more CPU on sha reads. Compare
+  // busy time via deadline pressure: with a large enough delay the jobs
+  // finish later. (Indirect but deterministic given fixed seeds.)
+  sim::System clean(test_config(7));
+  sim::System dirty(test_config(7));
+  RootkitAttack attack(200 * kMicrosecond);
+  attack.arm(dirty, 50 * kMillisecond);
+  clean.run_for(1 * kSecond);
+  dirty.run_for(1 * kSecond);
+  EXPECT_GT(dirty.scheduler().stats().busy_time,
+            clean.scheduler().stats().busy_time);
+}
+
+TEST(RootkitAttack, StealthPhaseKeepsMapDifferencesSubtle) {
+  // After the load, per-interval totals should stay in the normal band --
+  // the attack is invisible to the volume baseline (Figure 9's point).
+  sim::System clean(test_config(8));
+  sim::System dirty(test_config(8));
+  RootkitAttack attack(40 * kMicrosecond);
+  attack.arm(dirty, 100 * kMillisecond);
+  clean.run_for(600 * kMillisecond);
+  dirty.run_for(600 * kMillisecond);
+
+  double clean_mean = 0.0;
+  double dirty_mean = 0.0;
+  for (std::size_t i = 30; i < 60; ++i) {
+    clean_mean += static_cast<double>(clean.trace()[i].total_accesses());
+    dirty_mean += static_cast<double>(dirty.trace()[i].total_accesses());
+  }
+  clean_mean /= 30.0;
+  dirty_mean /= 30.0;
+  EXPECT_LT(std::abs(dirty_mean - clean_mean) / clean_mean, 0.15);
+}
+
+}  // namespace
+}  // namespace mhm::attacks

@@ -1,0 +1,168 @@
+#include "hw/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hw/trace_recorder.hpp"
+
+namespace mhm::hw {
+namespace {
+
+CacheGeometry tiny_cache() {
+  // 2 sets x 2 ways x 32 B lines = 128 B.
+  return CacheGeometry{.size_bytes = 128, .line_bytes = 32, .ways = 2};
+}
+
+TEST(CacheGeometry, DefaultsMatchPrototype) {
+  // §5.1: 32 KB L1 caches, 512 KB shared L2.
+  EXPECT_EQ(CacheGeometry::l1_default().size_bytes, 32u * 1024);
+  EXPECT_EQ(CacheGeometry::l2_default().size_bytes, 512u * 1024);
+  EXPECT_NO_THROW(CacheGeometry::l1_default().validate());
+  EXPECT_NO_THROW(CacheGeometry::l2_default().validate());
+}
+
+TEST(CacheGeometry, ValidationRejectsBadShapes) {
+  CacheGeometry g = tiny_cache();
+  g.line_bytes = 30;
+  EXPECT_THROW(g.validate(), ConfigError);
+
+  g = tiny_cache();
+  g.ways = 0;
+  EXPECT_THROW(g.validate(), ConfigError);
+
+  g = tiny_cache();
+  g.size_bytes = 100;  // not a multiple of line*ways
+  EXPECT_THROW(g.validate(), ConfigError);
+
+  g = tiny_cache();
+  g.size_bytes = 192;  // 3 sets: not a power of two
+  EXPECT_THROW(g.validate(), ConfigError);
+}
+
+TEST(CacheModel, FirstAccessMissesSecondHits) {
+  CacheModel cache(tiny_cache(), nullptr);
+  cache.on_burst(AccessBurst{.time = 0, .base = 0x1000, .size_bytes = 4,
+                             .sweeps = 1});
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  cache.on_burst(AccessBurst{.time = 1, .base = 0x1000, .size_bytes = 4,
+                             .sweeps = 1});
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(CacheModel, SameLineDifferentWordHits) {
+  CacheModel cache(tiny_cache(), nullptr);
+  cache.on_burst(AccessBurst{.time = 0, .base = 0x1000, .size_bytes = 4,
+                             .sweeps = 1});
+  cache.on_burst(AccessBurst{.time = 1, .base = 0x1010, .size_bytes = 4,
+                             .sweeps = 1});  // same 32 B line
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(CacheModel, SweepWithinBurstHitsAfterFill) {
+  // A 2-sweep burst over one line: first sweep misses, second sweep hits.
+  CacheModel cache(tiny_cache(), nullptr);
+  cache.on_burst(AccessBurst{.time = 0, .base = 0x1000, .size_bytes = 32,
+                             .sweeps = 2});
+  EXPECT_EQ(cache.misses(), 8u);  // 8 words of the first sweep
+  EXPECT_EQ(cache.hits(), 8u);    // 8 words of the second
+}
+
+TEST(CacheModel, LruEvictsLeastRecentlyUsed) {
+  // 2-way set: lines A, B fill the set; touching A then adding C must
+  // evict B (the least recently used), so B misses again but A still hits.
+  CacheModel cache(tiny_cache(), nullptr);
+  const Address a = 0x0000;   // set 0
+  const Address b = 0x0040;   // set 0 (64 = 2 sets * 32 B stride)
+  const Address c = 0x0080;   // set 0
+  auto touch = [&](Address addr) {
+    cache.on_burst(AccessBurst{.time = 0, .base = addr, .size_bytes = 4,
+                               .sweeps = 1});
+  };
+  touch(a);  // miss
+  touch(b);  // miss
+  touch(a);  // hit, A most recent
+  touch(c);  // miss, evicts B
+  EXPECT_EQ(cache.misses(), 3u);
+  touch(a);  // still cached
+  EXPECT_EQ(cache.hits(), 2u);
+  touch(b);  // was evicted
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(CacheModel, DownstreamSeesOnlyLineFills) {
+  MemoryBus downstream;
+  TraceRecorder rec;
+  downstream.attach(&rec);
+  CacheModel cache(tiny_cache(), &downstream);
+
+  // 64 B burst = 2 lines, swept twice: 2 fills on sweep one, none after.
+  cache.on_burst(AccessBurst{.time = 5, .base = 0x2000, .size_bytes = 64,
+                             .sweeps = 2});
+  ASSERT_EQ(rec.bursts().size(), 2u);
+  for (const auto& b : rec.bursts()) {
+    EXPECT_EQ(b.size_bytes, 32u);
+    EXPECT_EQ(b.sweeps, 1u);
+    EXPECT_EQ(b.time, 5u);
+  }
+}
+
+TEST(CacheModel, MissStreamIsLineAligned) {
+  MemoryBus downstream;
+  TraceRecorder rec;
+  downstream.attach(&rec);
+  CacheModel cache(tiny_cache(), &downstream);
+  cache.on_burst(AccessBurst{.time = 0, .base = 0x2014, .size_bytes = 4,
+                             .sweeps = 1});
+  ASSERT_EQ(rec.bursts().size(), 1u);
+  EXPECT_EQ(rec.bursts()[0].base, 0x2000u);
+}
+
+TEST(CacheModel, InvalidateAllForcesRefills) {
+  CacheModel cache(tiny_cache(), nullptr);
+  cache.on_burst(AccessBurst{.time = 0, .base = 0x1000, .size_bytes = 4,
+                             .sweeps = 1});
+  cache.invalidate_all();
+  cache.on_burst(AccessBurst{.time = 1, .base = 0x1000, .size_bytes = 4,
+                             .sweeps = 1});
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CacheModel, HitRateGrowsWithLocality) {
+  CacheModel cache(CacheGeometry::l1_default(), nullptr);
+  // Loop over an 8 KB region (fits in 32 KB L1) ten times.
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    cache.on_burst(AccessBurst{.time = static_cast<SimTime>(sweep),
+                               .base = 0x10000, .size_bytes = 8 * 1024,
+                               .sweeps = 1});
+  }
+  EXPECT_GT(cache.hit_rate(), 0.85);
+}
+
+TEST(CacheModel, ThrashingRegionKeepsMissing) {
+  // Working set (256 B) spans 8 lines mapping to 2 sets of a 128 B cache:
+  // 4 lines/set with 2 ways -> sequential sweeps always evict before reuse.
+  CacheModel cache(tiny_cache(), nullptr);
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    cache.on_burst(AccessBurst{.time = static_cast<SimTime>(sweep),
+                               .base = 0x0, .size_bytes = 256, .sweeps = 1});
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CacheModel, ForwardsTimeToDownstream) {
+  MemoryBus downstream;
+  CacheModel cache(tiny_cache(), &downstream);
+  cache.on_time(123);
+  EXPECT_EQ(downstream.last_time(), 123u);
+}
+
+TEST(CacheModel, HitRateZeroWhenUntouched) {
+  CacheModel cache(tiny_cache(), nullptr);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace mhm::hw

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "test_util.hpp"
+
+namespace mhm::linalg {
+namespace {
+
+using mhm::testing::expect_matrix_near;
+using mhm::testing::expect_vector_near;
+using mhm::testing::random_spd;
+
+TEST(Cholesky, FactorizesKnownMatrix) {
+  // A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]].
+  const Matrix a = Matrix::from_rows({{4.0, 2.0}, {2.0, 3.0}});
+  const Cholesky chol(a);
+  EXPECT_NEAR(chol.lower()(0, 0), 2.0, 1e-14);
+  EXPECT_NEAR(chol.lower()(1, 0), 1.0, 1e-14);
+  EXPECT_NEAR(chol.lower()(1, 1), std::sqrt(2.0), 1e-14);
+  EXPECT_NEAR(chol.lower()(0, 1), 0.0, 0.0);
+}
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyPropertyTest, LLtReconstructsInput) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, 100 + n);
+  const Cholesky chol(a);
+  const Matrix llt = multiply(chol.lower(), chol.lower().transposed());
+  expect_matrix_near(llt, a, 1e-9 * static_cast<double>(n), "L L^T");
+}
+
+TEST_P(CholeskyPropertyTest, SolveSatisfiesSystem) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, 200 + n);
+  Rng rng(n);
+  Vector b(n);
+  for (double& v : b) v = rng.uniform(-2.0, 2.0);
+  const Cholesky chol(a);
+  const Vector x = chol.solve(b);
+  expect_vector_near(multiply(a, x), b, 1e-8, "A x == b");
+}
+
+TEST_P(CholeskyPropertyTest, LogDetMatchesLu) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, 300 + n);
+  const Cholesky chol(a);
+  const Lu lu(a);
+  EXPECT_NEAR(chol.log_det(), std::log(lu.det()), 1e-8);
+}
+
+TEST_P(CholeskyPropertyTest, MahalanobisMatchesExplicitInverse) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, 400 + n);
+  Rng rng(2 * n);
+  Vector x(n);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  const Cholesky chol(a);
+  const Vector ainv_x = Lu(a).solve(x);
+  EXPECT_NEAR(chol.mahalanobis_squared(x), dot(x, ainv_x), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 4, 9, 16, 32));
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});  // eig -1, 3
+  EXPECT_THROW((void)Cholesky(a), NumericalError);
+}
+
+TEST(Cholesky, JitterRescuesSemidefinite) {
+  // Rank-1 PSD matrix: plain factorization fails, jitter succeeds.
+  Matrix a(3, 3, 0.0);
+  syr_update(a, 1.0, Vector{1.0, 1.0, 1.0});
+  EXPECT_THROW((void)Cholesky(a), NumericalError);
+  EXPECT_NO_THROW(Cholesky(a, 1e-6));
+}
+
+TEST(Cholesky, RegularizationEscalatesUntilSuccess) {
+  Matrix a(3, 3, 0.0);
+  syr_update(a, 1.0, Vector{2.0, -1.0, 0.5});
+  const auto reg = cholesky_with_regularization(a);
+  EXPECT_GT(reg.jitter_used, 0.0);
+  EXPECT_EQ(reg.factor.dim(), 3u);
+}
+
+TEST(Cholesky, RegularizationZeroJitterWhenAlreadyPd) {
+  const auto reg = cholesky_with_regularization(random_spd(5, 7));
+  EXPECT_EQ(reg.jitter_used, 0.0);
+}
+
+TEST(Cholesky, RegularizationGivesUpAtMaxJitter) {
+  // A matrix with a hugely negative eigenvalue cannot be fixed by jitter
+  // bounded at max_jitter.
+  Matrix a = Matrix::identity(2);
+  a(0, 0) = -1e9;
+  EXPECT_THROW(cholesky_with_regularization(a, 0.0, 1.0), NumericalError);
+}
+
+TEST(Cholesky, TransformStandardNormalHasTargetCovariance) {
+  const Matrix a = Matrix::from_rows({{2.0, 0.6}, {0.6, 1.0}});
+  const Cholesky chol(a);
+  Rng rng(55);
+  Matrix cov(2, 2, 0.0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const Vector z = {rng.normal(), rng.normal()};
+    const Vector s = chol.transform_standard_normal(z);
+    syr_update(cov, 1.0 / n, s);
+  }
+  expect_matrix_near(cov, a, 0.05, "empirical covariance");
+}
+
+TEST(Cholesky, ForwardSolveIsLowerTriangularSolve) {
+  const Matrix a = random_spd(4, 11);
+  const Cholesky chol(a);
+  Vector b = {1.0, 2.0, 3.0, 4.0};
+  const Vector y = chol.forward_solve(b);
+  expect_vector_near(multiply(chol.lower(), y), b, 1e-10, "L y == b");
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a = Matrix::from_rows({{2.0, 1.0}, {1.0, 3.0}});
+  const Vector x = Lu(a).solve(Vector{5.0, 10.0});
+  expect_vector_near(x, {1.0, 3.0}, 1e-12);
+}
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_NEAR(Lu(a).det(), -2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantTracksPivotSign) {
+  // Permutation matrix [[0,1],[1,0]] has determinant -1.
+  const Matrix p = Matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_NEAR(Lu(p).det(), -1.0, 1e-14);
+}
+
+TEST(Lu, InverseTimesMatrixIsIdentity) {
+  const Matrix a = random_spd(6, 77);
+  const Matrix inv = Lu(a).inverse();
+  expect_matrix_near(multiply(a, inv), Matrix::identity(6), 1e-9, "A A^-1");
+}
+
+TEST(Lu, RejectsSingular) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_THROW((void)Lu(a), NumericalError);
+}
+
+TEST(Lu, RejectsNonSquare) {
+  EXPECT_THROW((void)Lu(Matrix(2, 3)), LogicError);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  const Matrix a = Matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}});
+  const Vector x = Lu(a).solve(Vector{3.0, 7.0});
+  expect_vector_near(x, {7.0, 3.0}, 1e-13);
+}
+
+}  // namespace
+}  // namespace mhm::linalg

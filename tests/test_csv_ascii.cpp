@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/ascii_plot.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace mhm {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("mhm_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_);
+    csv.header({"interval", "log10_density"});
+    csv.row().col(std::uint64_t{0}).col(-12.5);
+    csv.row().col(std::uint64_t{1}).col(-13.25);
+  }
+  EXPECT_EQ(read_file(path_),
+            "interval,log10_density\n0,-12.5\n1,-13.25\n");
+}
+
+TEST_F(CsvWriterTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter csv(path_);
+    csv.row().col("plain").col("has,comma").col("has\"quote");
+  }
+  EXPECT_EQ(read_file(path_), "plain,\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvWriterTest, EmptyFileHasNoTrailingNewline) {
+  { CsvWriter csv(path_); }
+  EXPECT_EQ(read_file(path_), "");
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zzz/file.csv"), ConfigError);
+}
+
+TEST(CsvEscape, PassesThroughPlainStrings) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesNewlines) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(RenderLinePlot, EmptySeries) {
+  EXPECT_EQ(render_line_plot({}, LinePlotOptions{}), "(empty series)\n");
+}
+
+TEST(RenderLinePlot, ContainsDataMarksAndAxes) {
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) ys.push_back(static_cast<double>(i));
+  LinePlotOptions opt;
+  opt.title = "ramp";
+  const std::string plot = render_line_plot(ys, opt);
+  EXPECT_NE(plot.find("ramp"), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+  EXPECT_NE(plot.find("99"), std::string::npos);  // x-axis max label
+}
+
+TEST(RenderLinePlot, DrawsReferenceLines) {
+  std::vector<double> ys(50, 5.0);
+  LinePlotOptions opt;
+  opt.hlines = {0.0};
+  const std::string plot = render_line_plot(ys, opt);
+  EXPECT_NE(plot.find('-'), std::string::npos);
+}
+
+TEST(RenderLinePlot, HandlesNonFiniteValues) {
+  std::vector<double> ys = {1.0, -std::numeric_limits<double>::infinity(),
+                            2.0, std::nan("")};
+  const std::string plot = render_line_plot(ys, LinePlotOptions{});
+  EXPECT_FALSE(plot.empty());  // must not crash or emit empty output
+}
+
+TEST(RenderLinePlot, ConstantSeries) {
+  std::vector<double> ys(20, 3.0);
+  const std::string plot = render_line_plot(ys, LinePlotOptions{});
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(RenderHeatMap, EmptyMap) {
+  EXPECT_EQ(render_heat_map({}, HeatMapPlotOptions{}), "(empty heat map)\n");
+}
+
+TEST(RenderHeatMap, GeometryMatchesOptions) {
+  std::vector<std::uint64_t> cells(100, 1);
+  HeatMapPlotOptions opt;
+  opt.width = 20;
+  opt.rows = 4;
+  opt.title = "map";
+  const std::string out = render_heat_map(cells, opt);
+  // 4 content rows + 2 border rows + title.
+  int rows = 0;
+  for (char c : out) rows += (c == '\n');
+  EXPECT_EQ(rows, 7);
+}
+
+TEST(RenderHeatMap, HotCellsShadeDarker) {
+  std::vector<std::uint64_t> cells(64, 0);
+  cells[10] = 100000;
+  HeatMapPlotOptions opt;
+  opt.width = 64;
+  opt.rows = 1;
+  const std::string out = render_heat_map(cells, opt);
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(RenderHeatMap, AllZeroDoesNotDivideByZero) {
+  std::vector<std::uint64_t> cells(32, 0);
+  const std::string out = render_heat_map(cells, HeatMapPlotOptions{});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(TextTable, FormatsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+}
+
+TEST(TextTable, RejectsRaggedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), LogicError);
+}
+
+TEST(FmtDouble, RespectsPrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(-1.0, 0), "-1");
+}
+
+}  // namespace
+}  // namespace mhm

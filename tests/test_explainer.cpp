@@ -1,0 +1,176 @@
+#include "core/explainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mhm {
+namespace {
+
+/// Training data with structure: cells 0..7 active around distinct means,
+/// cells 8..19 identically cold (zero variance) — the MHM covariance shape.
+std::vector<std::vector<double>> structured_training(std::size_t n,
+                                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(20, 0.0);
+    const double activity = rng.uniform(0.5, 1.5);
+    for (std::size_t c = 0; c < 8; ++c) {
+      x[c] = activity * 100.0 * static_cast<double>(c + 1) +
+             rng.normal(0.0, 5.0);
+    }
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+class SpeDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    training_ = structured_training(300, 1);
+    validation_ = structured_training(150, 2);
+    Eigenmemory::Options opts;
+    opts.components = 2;
+    basis_ = Eigenmemory::fit(training_, opts);
+  }
+  std::vector<std::vector<double>> training_;
+  std::vector<std::vector<double>> validation_;
+  Eigenmemory basis_;
+};
+
+TEST_F(SpeDetectorTest, ValidatesArguments) {
+  EXPECT_THROW(SpeDetector(basis_, {}, 0.01), ConfigError);
+  EXPECT_THROW(SpeDetector(basis_, validation_, 0.0), ConfigError);
+  EXPECT_THROW(SpeDetector(basis_, validation_, 1.0), ConfigError);
+}
+
+TEST_F(SpeDetectorTest, NormalMapsHaveSmallSpe) {
+  const SpeDetector det(basis_, validation_, 0.01);
+  std::size_t alarms = 0;
+  const auto fresh = structured_training(400, 3);
+  for (const auto& x : fresh) alarms += det.anomalous(x);
+  // Calibrated for ~1 % FP; allow slack for distribution shift.
+  EXPECT_LT(static_cast<double>(alarms) / 400.0, 0.06);
+}
+
+TEST_F(SpeDetectorTest, CatchesOrthogonalDeviation) {
+  // A burst into cold cells (8..12) lies orthogonal to the retained basis:
+  // the projected weights barely move, but the residual explodes. This is
+  // the blind spot SPE exists to close (EXPERIMENTS.md E7 note).
+  const SpeDetector det(basis_, validation_, 0.01);
+  std::vector<double> map = structured_training(1, 4)[0];
+  for (std::size_t c = 8; c <= 12; ++c) map[c] += 500.0;
+  EXPECT_TRUE(det.anomalous(map));
+  EXPECT_GT(det.spe(map), 10.0 * det.threshold());
+}
+
+TEST_F(SpeDetectorTest, ProjectedWeightsBarelySeeOrthogonalDeviation) {
+  // Companion assertion: the reduced representation itself changes little,
+  // demonstrating why the GMM path alone misses this class of anomaly.
+  std::vector<double> normal_map = structured_training(1, 5)[0];
+  std::vector<double> attacked = normal_map;
+  for (std::size_t c = 8; c <= 12; ++c) attacked[c] += 500.0;
+  const auto w_normal = basis_.project(normal_map);
+  const auto w_attacked = basis_.project(attacked);
+  double weight_shift = 0.0;
+  for (std::size_t k = 0; k < w_normal.size(); ++k) {
+    weight_shift += std::abs(w_attacked[k] - w_normal[k]);
+  }
+  const SpeDetector det(basis_, validation_, 0.01);
+  const double spe_shift = det.spe(attacked) - det.spe(normal_map);
+  // The residual grows by ~5*500^2 = 1.25e6; the weights move by O(100).
+  EXPECT_GT(spe_shift, 1e5);
+  EXPECT_LT(weight_shift, 1e3);
+}
+
+TEST_F(SpeDetectorTest, SpeIsZeroInFullRankBasis) {
+  Eigenmemory::Options opts;
+  opts.components = 8;  // matches the true rank of the active subspace + 1
+  opts.allow_gram_trick = false;
+  const Eigenmemory full = Eigenmemory::fit(training_, opts);
+  const SpeDetector det(full, validation_, 0.01);
+  // With (almost) all variance directions retained, training-like maps
+  // reconstruct almost exactly.
+  EXPECT_LT(det.spe(training_[0]), det.spe(training_[0]) + 1.0);
+  Eigenmemory::Options tiny;
+  tiny.components = 1;
+  const Eigenmemory small = Eigenmemory::fit(training_, tiny);
+  const SpeDetector det_small(small, validation_, 0.01);
+  EXPECT_GT(det_small.spe(training_[0]), det.spe(training_[0]));
+}
+
+TEST(AnomalyExplainer, ValidatesInput) {
+  EXPECT_THROW(AnomalyExplainer({}), ConfigError);
+  EXPECT_THROW(AnomalyExplainer({{1.0}, {1.0, 2.0}}), ConfigError);
+}
+
+TEST(AnomalyExplainer, LearnsPerCellStatistics) {
+  const auto training = structured_training(500, 6);
+  const AnomalyExplainer explainer(training);
+  EXPECT_EQ(explainer.cell_count(), 20u);
+  // Active cell 3 has mean ~ activity-mean * 400.
+  EXPECT_NEAR(explainer.mean()[3], 400.0, 30.0);
+  EXPECT_GT(explainer.stddev()[3], 10.0);
+  // Cold cells have zero mean and zero std.
+  EXPECT_DOUBLE_EQ(explainer.mean()[15], 0.0);
+  EXPECT_DOUBLE_EQ(explainer.stddev()[15], 0.0);
+}
+
+TEST(AnomalyExplainer, RanksInjectedDeviationFirst) {
+  const auto training = structured_training(300, 7);
+  const AnomalyExplainer explainer(training);
+  std::vector<double> map = structured_training(1, 8)[0];
+  map[14] += 5000.0;  // cold cell suddenly hot
+  const auto top = explainer.explain(map, 5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].cell, 14u);
+  EXPECT_GT(top[0].z_score, 10.0);
+  EXPECT_DOUBLE_EQ(top[0].expected, 0.0);
+  EXPECT_NEAR(top[0].observed, 5000.0, 1.0);
+}
+
+TEST(AnomalyExplainer, ZScoresAreSigned) {
+  const auto training = structured_training(300, 9);
+  const AnomalyExplainer explainer(training);
+  std::vector<double> map = structured_training(1, 10)[0];
+  map[7] = 0.0;  // activity that *disappeared* (e.g. killed task)
+  const auto top = explainer.explain(map, 3);
+  bool found_negative = false;
+  for (const auto& d : top) {
+    if (d.cell == 7) {
+      EXPECT_LT(d.z_score, -3.0);
+      found_negative = true;
+    }
+  }
+  EXPECT_TRUE(found_negative);
+}
+
+TEST(AnomalyExplainer, KLargerThanCellsClamps) {
+  const auto training = structured_training(50, 11);
+  const AnomalyExplainer explainer(training);
+  const auto all = explainer.explain(training[0], 100);
+  EXPECT_EQ(all.size(), 20u);
+}
+
+TEST(AnomalyExplainer, FromTraceMatchesRawConstruction) {
+  HeatMapTrace maps;
+  Rng rng(12);
+  for (int i = 0; i < 40; ++i) {
+    HeatMap m(6);
+    for (std::size_t c = 0; c < 6; ++c) m.increment(c, rng.poisson(20.0 * static_cast<double>(c + 1)));
+    maps.push_back(m);
+  }
+  const AnomalyExplainer a = AnomalyExplainer::from_trace(maps);
+  std::vector<std::vector<double>> raw;
+  for (const auto& m : maps) raw.push_back(m.as_vector());
+  const AnomalyExplainer b(raw);
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.stddev(), b.stddev());
+}
+
+}  // namespace
+}  // namespace mhm

@@ -1,0 +1,120 @@
+#include "core/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace mhm {
+namespace {
+
+TEST(MhmConfig, PaperDefaultMatchesFigure1) {
+  const MhmConfig cfg = MhmConfig::paper_default();
+  EXPECT_EQ(cfg.base, 0xC0008000u);
+  EXPECT_EQ(cfg.size, 3'013'284u);
+  EXPECT_EQ(cfg.granularity, 2048u);
+  EXPECT_EQ(cfg.interval, 10 * kMillisecond);
+  // Figure 1: 1,472 cells.
+  EXPECT_EQ(cfg.cell_count(), 1472u);
+  EXPECT_EQ(cfg.shift_bits(), 11u);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(MhmConfig, CellCountRoundsUp) {
+  MhmConfig cfg;
+  cfg.size = 2049;
+  cfg.granularity = 2048;
+  EXPECT_EQ(cfg.cell_count(), 2u);
+  cfg.size = 2048;
+  EXPECT_EQ(cfg.cell_count(), 1u);
+}
+
+TEST(MhmConfig, ValidationRejectsBadValues) {
+  MhmConfig cfg = MhmConfig::paper_default();
+  cfg.size = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+
+  cfg = MhmConfig::paper_default();
+  cfg.granularity = 1000;  // not a power of two
+  EXPECT_THROW(cfg.validate(), ConfigError);
+
+  cfg = MhmConfig::paper_default();
+  cfg.interval = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(MhmConfig, ShiftBitsForVariousGranularities) {
+  MhmConfig cfg;
+  cfg.granularity = 512;
+  EXPECT_EQ(cfg.shift_bits(), 9u);
+  cfg.granularity = 8192;
+  EXPECT_EQ(cfg.shift_bits(), 13u);
+}
+
+TEST(HeatMap, StartsAtZero) {
+  const HeatMap map(16);
+  EXPECT_EQ(map.cell_count(), 16u);
+  EXPECT_EQ(map.total_accesses(), 0u);
+  EXPECT_EQ(map.active_cells(), 0u);
+}
+
+TEST(HeatMap, IncrementAccumulates) {
+  HeatMap map(4);
+  map.increment(1);
+  map.increment(1, 5);
+  map.increment(3);
+  EXPECT_EQ(map[0], 0u);
+  EXPECT_EQ(map[1], 6u);
+  EXPECT_EQ(map[3], 1u);
+  EXPECT_EQ(map.total_accesses(), 7u);
+  EXPECT_EQ(map.active_cells(), 2u);
+}
+
+TEST(HeatMap, IncrementOutOfRangeThrows) {
+  HeatMap map(4);
+  EXPECT_THROW(map.increment(4), LogicError);
+}
+
+TEST(HeatMap, CountersSaturateAt32Bits) {
+  HeatMap map(1);
+  const auto max32 = std::numeric_limits<std::uint32_t>::max();
+  map.increment(0, max32);
+  map.increment(0, 10);  // must saturate, not wrap
+  EXPECT_EQ(map[0], max32);
+  map.increment(0, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(map[0], max32);
+}
+
+TEST(HeatMap, ResetClearsCounts) {
+  HeatMap map(3);
+  map.increment(0, 7);
+  map.reset();
+  EXPECT_EQ(map.total_accesses(), 0u);
+  EXPECT_EQ(map.active_cells(), 0u);
+}
+
+TEST(HeatMap, AsVectorPreservesCounts) {
+  HeatMap map(3);
+  map.increment(0, 2);
+  map.increment(2, 9);
+  const auto v = map.as_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 9.0);
+}
+
+TEST(HeatMap, SummarizeMentionsKeyFields) {
+  HeatMap map(8);
+  map.interval_index = 42;
+  map.increment(3, 5);
+  const std::string s = summarize(map);
+  EXPECT_NE(s.find("interval=42"), std::string::npos);
+  EXPECT_NE(s.find("cells=8"), std::string::npos);
+  EXPECT_NE(s.find("total=5"), std::string::npos);
+  EXPECT_NE(s.find("active=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mhm

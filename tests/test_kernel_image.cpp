@@ -1,0 +1,153 @@
+#include "sim/kernel_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace mhm::sim {
+namespace {
+
+TEST(KernelImage, DefaultLayoutMatchesPaperRegion) {
+  const KernelImage image;
+  EXPECT_EQ(image.base(), 0xC0008000u);
+  EXPECT_EQ(image.text_size(), 3'013'284u);
+  EXPECT_EQ(image.text_end(), 0xC0008000u + 3'013'284u);
+}
+
+TEST(KernelImage, SubsystemsPartitionTextExactly) {
+  const KernelImage image;
+  const auto& subs = image.subsystems();
+  ASSERT_FALSE(subs.empty());
+  EXPECT_EQ(subs.front().begin, image.base());
+  EXPECT_EQ(subs.back().end, image.text_end());
+  for (std::size_t i = 1; i < subs.size(); ++i) {
+    EXPECT_EQ(subs[i].begin, subs[i - 1].end) << "gap before " << subs[i].name;
+  }
+}
+
+TEST(KernelImage, FunctionsAreContiguousWithinSubsystems) {
+  const KernelImage image;
+  for (const auto& sub : image.subsystems()) {
+    ASSERT_GT(sub.function_count, 0u) << sub.name;
+    Address cursor = sub.begin;
+    for (std::size_t f = sub.first_function;
+         f < sub.first_function + sub.function_count; ++f) {
+      const auto& fn = image.function(f);
+      EXPECT_EQ(fn.address, cursor) << fn.name;
+      EXPECT_GE(fn.size_bytes, 16u);
+      EXPECT_EQ(fn.subsystem, &sub - image.subsystems().data());
+      cursor = fn.end();
+    }
+    EXPECT_EQ(cursor, sub.end) << sub.name;
+  }
+}
+
+TEST(KernelImage, ExpectedSubsystemsExist) {
+  const KernelImage image;
+  for (const char* name :
+       {"entry", "sched", "irq", "time", "syscall", "signal", "fork_exec",
+        "mm", "fs", "ipc", "module", "security", "drivers", "net", "crypto",
+        "lib"}) {
+    EXPECT_NO_THROW(image.subsystem(name)) << name;
+  }
+  EXPECT_THROW(image.subsystem("nonexistent"), ConfigError);
+}
+
+TEST(KernelImage, DeterministicForSameSeed) {
+  const KernelImage a;
+  const KernelImage b;
+  ASSERT_EQ(a.functions().size(), b.functions().size());
+  for (std::size_t i = 0; i < a.functions().size(); ++i) {
+    EXPECT_EQ(a.functions()[i].address, b.functions()[i].address);
+    EXPECT_EQ(a.functions()[i].size_bytes, b.functions()[i].size_bytes);
+  }
+}
+
+TEST(KernelImage, DifferentSeedsGiveDifferentLayouts) {
+  KernelImage::Params p;
+  p.seed = 1;
+  const KernelImage a(p);
+  p.seed = 2;
+  const KernelImage b(p);
+  bool any_diff = a.functions().size() != b.functions().size();
+  if (!any_diff) {
+    for (std::size_t i = 0; i < a.functions().size(); ++i) {
+      any_diff |= a.functions()[i].size_bytes != b.functions()[i].size_bytes;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(KernelImage, FunctionCountIsRealistic) {
+  // ~3 MB of text at ~480 B mean function size -> thousands of functions,
+  // like a real embedded kernel.
+  const KernelImage image;
+  EXPECT_GT(image.functions().size(), 2000u);
+  EXPECT_LT(image.functions().size(), 20000u);
+}
+
+TEST(KernelImage, FunctionAtFindsContainingFunction) {
+  const KernelImage image;
+  for (std::size_t i : {std::size_t{0}, image.functions().size() / 2,
+                        image.functions().size() - 1}) {
+    const auto& fn = image.function(i);
+    EXPECT_EQ(image.function_at(fn.address), &fn);
+    EXPECT_EQ(image.function_at(fn.address + fn.size_bytes / 2), &fn);
+    EXPECT_EQ(image.function_at(fn.end() - 1), &fn);
+  }
+}
+
+TEST(KernelImage, FunctionAtRejectsOutsideText) {
+  const KernelImage image;
+  EXPECT_EQ(image.function_at(image.base() - 1), nullptr);
+  EXPECT_EQ(image.function_at(image.text_end()), nullptr);
+  EXPECT_EQ(image.function_at(0), nullptr);
+}
+
+TEST(KernelImage, PickFunctionsStaysInsideSubsystem) {
+  const KernelImage image;
+  const auto& mm = image.subsystem("mm");
+  const auto picks = image.pick_functions("mm", 10, 42);
+  EXPECT_EQ(picks.size(), 10u);
+  for (std::size_t f : picks) {
+    EXPECT_GE(f, mm.first_function);
+    EXPECT_LT(f, mm.first_function + mm.function_count);
+  }
+}
+
+TEST(KernelImage, PickFunctionsIsDeterministic) {
+  const KernelImage image;
+  EXPECT_EQ(image.pick_functions("fs", 5, 7), image.pick_functions("fs", 5, 7));
+}
+
+TEST(KernelImage, DifferentSaltsPickDifferentSets) {
+  const KernelImage image;
+  const auto a = image.pick_functions("fs", 8, 1);
+  const auto b = image.pick_functions("fs", 8, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(KernelImage, PickFunctionsClampsToSubsystemSize) {
+  const KernelImage image;
+  const auto& entry = image.subsystem("entry");
+  const auto picks = image.pick_functions("entry", entry.function_count + 50, 3);
+  EXPECT_EQ(picks.size(), entry.function_count);
+}
+
+TEST(KernelImage, RejectsZeroTextSize) {
+  KernelImage::Params p;
+  p.text_size = 0;
+  EXPECT_THROW(KernelImage{p}, ConfigError);
+}
+
+TEST(KernelImage, SubsystemFractionsSumToOne) {
+  const KernelImage image;
+  double total = 0.0;
+  for (const auto& sub : image.subsystems()) total += sub.text_fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mhm::sim

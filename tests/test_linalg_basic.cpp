@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector_ops.hpp"
+#include "test_util.hpp"
+
+namespace mhm::linalg {
+namespace {
+
+using mhm::testing::expect_matrix_near;
+using mhm::testing::expect_vector_near;
+
+TEST(VectorOps, DotProduct) {
+  const Vector a = {1.0, 2.0, 3.0};
+  const Vector b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(VectorOps, DotRejectsSizeMismatch) {
+  const Vector a = {1.0};
+  const Vector b = {1.0, 2.0};
+  EXPECT_THROW(dot(a, b), mhm::LogicError);
+}
+
+TEST(VectorOps, Norm2) {
+  const Vector a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+}
+
+TEST(VectorOps, Axpy) {
+  const Vector x = {1.0, 2.0};
+  Vector y = {10.0, 20.0};
+  axpy(2.0, x, y);
+  expect_vector_near(y, {12.0, 24.0}, 1e-15);
+}
+
+TEST(VectorOps, Scale) {
+  Vector x = {1.0, -2.0};
+  scale(x, -3.0);
+  expect_vector_near(x, {-3.0, 6.0}, 1e-15);
+}
+
+TEST(VectorOps, AddSubtract) {
+  const Vector a = {5.0, 7.0};
+  const Vector b = {1.0, 2.0};
+  expect_vector_near(add(a, b), {6.0, 9.0}, 1e-15);
+  expect_vector_near(subtract(a, b), {4.0, 5.0}, 1e-15);
+}
+
+TEST(VectorOps, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(squared_distance(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 25.0);
+}
+
+TEST(VectorOps, NormalizeReturnsOriginalNorm) {
+  Vector v = {0.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(normalize(v), 5.0);
+  EXPECT_NEAR(norm2(v), 1.0, 1e-15);
+}
+
+TEST(VectorOps, NormalizeZeroVectorIsNoop) {
+  Vector v = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(normalize(v), 0.0);
+  expect_vector_near(v, {0.0, 0.0}, 0.0);
+}
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0, 2.0}, {3.0}}), mhm::LogicError);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  expect_matrix_near(t.transposed(), m, 0.0, "double transpose");
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{5.0, 6.0}, {7.0, 8.0}});
+  const Matrix c = multiply(a, b);
+  expect_matrix_near(c, Matrix::from_rows({{19.0, 22.0}, {43.0, 50.0}}),
+                     1e-14, "2x2 product");
+}
+
+TEST(Matrix, MultiplyIdentityIsNoop) {
+  const Matrix m = mhm::testing::random_symmetric(8, 5);
+  expect_matrix_near(multiply(m, Matrix::identity(8)), m, 1e-14, "M*I");
+  expect_matrix_near(multiply(Matrix::identity(8), m), m, 1e-14, "I*M");
+}
+
+TEST(Matrix, MultiplyRejectsShapeMismatch) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(multiply(a, b), mhm::LogicError);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  expect_vector_near(multiply(a, Vector{1.0, 1.0}), {3.0, 7.0}, 1e-14);
+}
+
+TEST(Matrix, TransposeVectorProductMatchesExplicitTranspose) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const Vector x = {2.0, -1.0};
+  expect_vector_near(multiply_transpose(a, x),
+                     multiply(a.transposed(), x), 1e-14);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{1.0, 1.0}, {1.0, 1.0}});
+  expect_matrix_near(add(a, b), Matrix::from_rows({{2.0, 3.0}, {4.0, 5.0}}),
+                     1e-15, "add");
+  expect_matrix_near(subtract(a, b),
+                     Matrix::from_rows({{0.0, 1.0}, {2.0, 3.0}}), 1e-15,
+                     "subtract");
+  expect_matrix_near(scaled(a, 2.0),
+                     Matrix::from_rows({{2.0, 4.0}, {6.0, 8.0}}), 1e-15,
+                     "scale");
+}
+
+TEST(Matrix, SyrUpdateBuildsOuterProduct) {
+  Matrix m(3, 3, 0.0);
+  const Vector x = {1.0, 2.0, 3.0};
+  syr_update(m, 2.0, x);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), 2.0 * x[i] * x[j]);
+    }
+  }
+}
+
+TEST(Matrix, ColVector) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  expect_vector_near(m.col_vector(1), {2.0, 4.0}, 0.0);
+  EXPECT_THROW(m.col_vector(2), mhm::LogicError);
+}
+
+TEST(Matrix, FrobeniusNormAndMaxAbs) {
+  const Matrix m = Matrix::from_rows({{3.0, 0.0}, {0.0, -4.0}});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(Matrix, MaxAsymmetry) {
+  Matrix m = Matrix::from_rows({{1.0, 2.0}, {2.5, 1.0}});
+  EXPECT_DOUBLE_EQ(max_asymmetry(m), 0.5);
+  EXPECT_DOUBLE_EQ(max_asymmetry(Matrix::identity(4)), 0.0);
+}
+
+}  // namespace
+}  // namespace mhm::linalg

@@ -1,0 +1,242 @@
+#include "hw/memometer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mhm::hw {
+namespace {
+
+/// Reference model: process a burst one 4-byte fetch at a time with the
+/// paper's exact filter + shift arithmetic (§3.1). The Memometer's
+/// burst-granular implementation must be bit-identical to this.
+void reference_record(const MhmConfig& cfg, const AccessBurst& burst,
+                      std::vector<std::uint64_t>& cells) {
+  for (std::uint64_t sweep = 0; sweep < burst.sweeps; ++sweep) {
+    for (Address addr = burst.base; addr < burst.base + burst.size_bytes;
+         addr += AccessBurst::kWordBytes) {
+      if (addr < cfg.base) continue;
+      const std::uint64_t offset = addr - cfg.base;
+      if (offset >= cfg.size) continue;
+      cells[offset >> cfg.shift_bits()] += 1;
+    }
+  }
+}
+
+MhmConfig small_config() {
+  MhmConfig cfg;
+  cfg.base = 0x1000;
+  cfg.size = 64 * 1024;
+  cfg.granularity = 1024;
+  cfg.interval = 10 * kMillisecond;
+  return cfg;
+}
+
+TEST(Memometer, RejectsTooManyCells) {
+  MhmConfig cfg = small_config();
+  cfg.size = 4 * 1024 * 1024;  // 4096 cells at 1 KB > 2048 capacity
+  EXPECT_THROW(Memometer(cfg, 0, nullptr), ConfigError);
+}
+
+TEST(Memometer, PaperConfigFitsOnChipMemory) {
+  // 1,472 cells <= 2,048 ("at most about 2,000 cells", §5.1).
+  EXPECT_EQ(Memometer::kMaxCells, 2048u);
+  EXPECT_NO_THROW(Memometer(MhmConfig::paper_default(), 0, nullptr));
+}
+
+TEST(Memometer, SingleFetchLandsInCorrectCell) {
+  const MhmConfig cfg = small_config();
+  Memometer meter(cfg, 0, nullptr);
+  // Address 0x1000 + 3*1024 + 8 -> cell 3.
+  meter.on_burst(AccessBurst{.time = 0, .base = 0x1000 + 3 * 1024 + 8,
+                             .size_bytes = 4, .sweeps = 1});
+  EXPECT_EQ(meter.active_map()[3], 1u);
+  EXPECT_EQ(meter.accesses_counted(), 1u);
+  EXPECT_EQ(meter.accesses_filtered_out(), 0u);
+}
+
+TEST(Memometer, FiltersAddressesOutsideRegion) {
+  const MhmConfig cfg = small_config();
+  Memometer meter(cfg, 0, nullptr);
+  meter.on_burst(AccessBurst{.time = 0, .base = 0x0500, .size_bytes = 4,
+                             .sweeps = 1});  // below base
+  meter.on_burst(AccessBurst{.time = 0, .base = 0x1000 + 64 * 1024,
+                             .size_bytes = 4, .sweeps = 1});  // at end (excl.)
+  EXPECT_EQ(meter.accesses_counted(), 0u);
+  EXPECT_EQ(meter.accesses_filtered_out(), 2u);
+}
+
+TEST(Memometer, BurstStraddlingRegionStartCountsOnlyInside) {
+  const MhmConfig cfg = small_config();
+  Memometer meter(cfg, 0, nullptr);
+  // 8 words starting 16 bytes below the base: 4 filtered, 4 counted.
+  meter.on_burst(AccessBurst{.time = 0, .base = 0x1000 - 16,
+                             .size_bytes = 32, .sweeps = 1});
+  EXPECT_EQ(meter.accesses_counted(), 4u);
+  EXPECT_EQ(meter.accesses_filtered_out(), 4u);
+  EXPECT_EQ(meter.active_map()[0], 4u);
+}
+
+TEST(Memometer, BurstSpanningMultipleCellsSplitsCounts) {
+  const MhmConfig cfg = small_config();
+  Memometer meter(cfg, 0, nullptr);
+  // 1,024 bytes starting half-way into cell 0: 128 words in cell 0,
+  // 128 words in cell 1.
+  meter.on_burst(AccessBurst{.time = 0, .base = 0x1000 + 512,
+                             .size_bytes = 1024, .sweeps = 1});
+  EXPECT_EQ(meter.active_map()[0], 128u);
+  EXPECT_EQ(meter.active_map()[1], 128u);
+}
+
+TEST(Memometer, SweepsMultiplyCounts) {
+  const MhmConfig cfg = small_config();
+  Memometer meter(cfg, 0, nullptr);
+  meter.on_burst(AccessBurst{.time = 0, .base = 0x1000, .size_bytes = 64,
+                             .sweeps = 10});
+  EXPECT_EQ(meter.active_map()[0], 160u);  // 16 words * 10
+}
+
+class MemometerEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemometerEquivalenceTest, BurstArithmeticMatchesPerFetchReference) {
+  // Property test: for random bursts (random alignment, size, sweep count,
+  // partially outside the region), the Memometer's burst arithmetic must be
+  // bit-identical to fetch-by-fetch processing.
+  const MhmConfig cfg = small_config();
+  Memometer meter(cfg, 0, nullptr);
+  std::vector<std::uint64_t> reference(cfg.cell_count(), 0);
+
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    AccessBurst b;
+    b.time = static_cast<SimTime>(i);
+    // Random word-aligned base from below the region to beyond its end.
+    b.base = 0x0800 + static_cast<Address>(rng.uniform_int(0, 70 * 1024)) * 4 / 4 * 4;
+    b.size_bytes = static_cast<std::uint64_t>(rng.uniform_int(1, 8 * 1024));
+    b.sweeps = static_cast<std::uint64_t>(rng.uniform_int(1, 5));
+    meter.on_burst(b);
+    reference_record(cfg, b, reference);
+  }
+  for (std::size_t c = 0; c < cfg.cell_count(); ++c) {
+    ASSERT_EQ(meter.active_map()[c], reference[c]) << "cell " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemometerEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Memometer, DeliversMapAtIntervalBoundary) {
+  const MhmConfig cfg = small_config();
+  std::vector<HeatMap> delivered;
+  Memometer meter(cfg, 0, [&](const HeatMap& m) { delivered.push_back(m); });
+
+  meter.on_burst(AccessBurst{.time = 1 * kMillisecond, .base = 0x1000,
+                             .size_bytes = 4, .sweeps = 1});
+  EXPECT_TRUE(delivered.empty());
+  meter.on_time(10 * kMillisecond);  // boundary
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].interval_index, 0u);
+  EXPECT_EQ(delivered[0].total_accesses(), 1u);
+  EXPECT_EQ(meter.intervals_completed(), 1u);
+}
+
+TEST(Memometer, AttributesAccessesToTheRightInterval) {
+  const MhmConfig cfg = small_config();
+  std::vector<HeatMap> delivered;
+  Memometer meter(cfg, 0, [&](const HeatMap& m) { delivered.push_back(m); });
+
+  meter.on_burst(AccessBurst{.time = 9 * kMillisecond, .base = 0x1000,
+                             .size_bytes = 4, .sweeps = 1});
+  // This burst arrives at t = 12 ms: interval 0 must close with only the
+  // first access; the second belongs to interval 1.
+  meter.on_burst(AccessBurst{.time = 12 * kMillisecond, .base = 0x1000,
+                             .size_bytes = 4, .sweeps = 3});
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].total_accesses(), 1u);
+  meter.on_time(20 * kMillisecond);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[1].total_accesses(), 3u);
+  EXPECT_EQ(delivered[1].interval_index, 1u);
+}
+
+TEST(Memometer, QuietIntervalsStillDeliverEmptyMaps) {
+  const MhmConfig cfg = small_config();
+  std::vector<HeatMap> delivered;
+  Memometer meter(cfg, 0, [&](const HeatMap& m) { delivered.push_back(m); });
+  meter.on_time(35 * kMillisecond);  // three full boundaries, no traffic
+  ASSERT_EQ(delivered.size(), 3u);
+  for (const auto& m : delivered) EXPECT_EQ(m.total_accesses(), 0u);
+}
+
+TEST(Memometer, DoubleBufferingAlternatesUnits) {
+  // §3.1: at each boundary the other on-chip memory becomes active.
+  const MhmConfig cfg = small_config();
+  Memometer meter(cfg, 0, nullptr);
+  EXPECT_EQ(meter.active_unit(), 0);
+  meter.on_time(10 * kMillisecond);
+  EXPECT_EQ(meter.active_unit(), 1);
+  meter.on_time(20 * kMillisecond);
+  EXPECT_EQ(meter.active_unit(), 0);
+  meter.on_time(40 * kMillisecond);  // two boundaries at once
+  EXPECT_EQ(meter.active_unit(), 0);
+}
+
+TEST(Memometer, BufferIsCleanWhenReused) {
+  const MhmConfig cfg = small_config();
+  std::vector<std::uint64_t> totals;
+  Memometer meter(cfg, 0,
+                  [&](const HeatMap& m) { totals.push_back(m.total_accesses()); });
+  // Interval 0: 5 accesses into unit 0.
+  meter.on_burst(AccessBurst{.time = 0, .base = 0x1000, .size_bytes = 20,
+                             .sweeps = 1});
+  meter.on_time(10 * kMillisecond);
+  // Intervals 1 and 2 silent; unit 0 is reused for interval 2 and must not
+  // still hold interval 0's counts.
+  meter.on_time(30 * kMillisecond);
+  ASSERT_EQ(totals.size(), 3u);
+  EXPECT_EQ(totals[0], 5u);
+  EXPECT_EQ(totals[1], 0u);
+  EXPECT_EQ(totals[2], 0u);
+}
+
+TEST(Memometer, FinishDeliversPartialOnlyWhenRequested) {
+  const MhmConfig cfg = small_config();
+  std::vector<HeatMap> delivered;
+  Memometer meter(cfg, 0, [&](const HeatMap& m) { delivered.push_back(m); });
+  meter.on_burst(AccessBurst{.time = 2 * kMillisecond, .base = 0x1000,
+                             .size_bytes = 4, .sweeps = 1});
+
+  meter.finish(5 * kMillisecond, /*deliver_partial=*/false);
+  EXPECT_TRUE(delivered.empty());
+  meter.finish(6 * kMillisecond, /*deliver_partial=*/true);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].total_accesses(), 1u);
+}
+
+TEST(Memometer, StartTimeOffsetsFirstInterval) {
+  const MhmConfig cfg = small_config();
+  std::vector<HeatMap> delivered;
+  Memometer meter(cfg, 100 * kMillisecond,
+                  [&](const HeatMap& m) { delivered.push_back(m); });
+  meter.on_time(109 * kMillisecond);
+  EXPECT_TRUE(delivered.empty());
+  meter.on_time(110 * kMillisecond);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].interval_start, 100 * kMillisecond);
+}
+
+TEST(Memometer, GranularityOneCellPerRegion) {
+  MhmConfig cfg = small_config();
+  cfg.granularity = 65536;  // whole region in one cell
+  Memometer meter(cfg, 0, nullptr);
+  meter.on_burst(AccessBurst{.time = 0, .base = 0x1000, .size_bytes = 4096,
+                             .sweeps = 2});
+  EXPECT_EQ(meter.active_map()[0], 2048u);
+}
+
+}  // namespace
+}  // namespace mhm::hw

@@ -1,0 +1,170 @@
+// Conservation and consistency properties of the Memometer across
+// configurations: the same access stream, observed at different
+// granularities or interval lengths, must aggregate to consistent totals.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hw/memometer.hpp"
+#include "hw/trace_recorder.hpp"
+
+namespace mhm::hw {
+namespace {
+
+/// A reusable random burst stream confined near a monitored region.
+std::vector<AccessBurst> random_stream(std::uint64_t seed, std::size_t n,
+                                       Address region_base,
+                                       std::uint64_t region_size) {
+  Rng rng(seed);
+  std::vector<AccessBurst> bursts;
+  SimTime t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += static_cast<SimTime>(rng.uniform_int(0, 200 * kMicrosecond));
+    AccessBurst b;
+    b.time = t;
+    // Mostly inside the region, sometimes straddling or outside.
+    const std::int64_t lo = static_cast<std::int64_t>(region_base) - 4096;
+    const std::int64_t hi =
+        static_cast<std::int64_t>(region_base + region_size) + 4096;
+    b.base = static_cast<Address>(rng.uniform_int(lo, hi)) & ~3ull;
+    b.size_bytes = static_cast<std::uint64_t>(rng.uniform_int(4, 4096));
+    b.sweeps = static_cast<std::uint64_t>(rng.uniform_int(1, 4));
+    bursts.push_back(b);
+  }
+  return bursts;
+}
+
+MhmConfig base_config() {
+  MhmConfig cfg;
+  cfg.base = 0x40000;
+  cfg.size = 256 * 1024;
+  cfg.granularity = 1024;
+  cfg.interval = 10 * kMillisecond;
+  return cfg;
+}
+
+class MemometerStreamTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemometerStreamTest, TotalCountsIndependentOfGranularity) {
+  // Conservation: per-interval totals must not depend on the cell size —
+  // granularity only redistributes counts among cells.
+  const auto stream = random_stream(GetParam(), 400, 0x40000, 256 * 1024);
+  std::vector<std::uint64_t> totals_per_granularity;
+  for (std::uint64_t granularity : {512u, 1024u, 4096u, 32768u}) {
+    MhmConfig cfg = base_config();
+    cfg.granularity = granularity;
+    std::uint64_t total = 0;
+    Memometer meter(cfg, 0, [&](const HeatMap& m) {
+      total += m.total_accesses();
+    });
+    MemoryBus bus;
+    bus.attach(&meter);
+    for (const auto& b : stream) bus.publish(b);
+    meter.finish(stream.back().time + 1, /*deliver_partial=*/true);
+    totals_per_granularity.push_back(total);
+  }
+  for (std::size_t i = 1; i < totals_per_granularity.size(); ++i) {
+    EXPECT_EQ(totals_per_granularity[i], totals_per_granularity[0])
+        << "granularity index " << i;
+  }
+}
+
+TEST_P(MemometerStreamTest, TotalCountsIndependentOfIntervalLength) {
+  // Partitioning time differently must conserve the grand total.
+  const auto stream = random_stream(GetParam() + 50, 400, 0x40000, 256 * 1024);
+  std::vector<std::uint64_t> totals;
+  for (SimTime interval : {1 * kMillisecond, 10 * kMillisecond,
+                           100 * kMillisecond}) {
+    MhmConfig cfg = base_config();
+    cfg.interval = interval;
+    std::uint64_t total = 0;
+    Memometer meter(cfg, 0, [&](const HeatMap& m) {
+      total += m.total_accesses();
+    });
+    MemoryBus bus;
+    bus.attach(&meter);
+    for (const auto& b : stream) bus.publish(b);
+    meter.finish(stream.back().time + 1, /*deliver_partial=*/true);
+    totals.push_back(total);
+  }
+  EXPECT_EQ(totals[0], totals[1]);
+  EXPECT_EQ(totals[1], totals[2]);
+}
+
+TEST_P(MemometerStreamTest, CoarseCellsAreSumsOfFineCells) {
+  // Refinement property: a δ=4096 cell's count equals the sum of the four
+  // δ=1024 cells covering the same range, interval by interval.
+  const auto stream = random_stream(GetParam() + 99, 300, 0x40000, 256 * 1024);
+
+  auto collect = [&](std::uint64_t granularity) {
+    MhmConfig cfg = base_config();
+    cfg.granularity = granularity;
+    std::vector<HeatMap> maps;
+    Memometer meter(cfg, 0, [&](const HeatMap& m) { maps.push_back(m); });
+    MemoryBus bus;
+    bus.attach(&meter);
+    for (const auto& b : stream) bus.publish(b);
+    meter.finish(stream.back().time + 1, /*deliver_partial=*/true);
+    return maps;
+  };
+  const auto fine = collect(1024);
+  const auto coarse = collect(4096);
+  ASSERT_EQ(fine.size(), coarse.size());
+  for (std::size_t m = 0; m < fine.size(); ++m) {
+    for (std::size_t c = 0; c < coarse[m].cell_count(); ++c) {
+      std::uint64_t sum = 0;
+      for (std::size_t f = 4 * c; f < 4 * c + 4; ++f) sum += fine[m][f];
+      ASSERT_EQ(static_cast<std::uint64_t>(coarse[m][c]), sum)
+          << "map " << m << " coarse cell " << c;
+    }
+  }
+}
+
+TEST_P(MemometerStreamTest, CountedPlusFilteredEqualsPublished) {
+  const auto stream = random_stream(GetParam() + 123, 300, 0x40000,
+                                    256 * 1024);
+  MhmConfig cfg = base_config();
+  Memometer meter(cfg, 0, nullptr);
+  MemoryBus bus;
+  bus.attach(&meter);
+  for (const auto& b : stream) bus.publish(b);
+  EXPECT_EQ(meter.accesses_counted() + meter.accesses_filtered_out(),
+            bus.accesses_published());
+}
+
+TEST_P(MemometerStreamTest, ReplayThroughRecorderIsIdentical) {
+  // Capture the stream, replay it into a second Memometer: bit-identical
+  // heat maps (the record/replay feature contract).
+  const auto stream = random_stream(GetParam() + 321, 250, 0x40000,
+                                    256 * 1024);
+  const MhmConfig cfg = base_config();
+
+  std::vector<HeatMap> live_maps;
+  TraceRecorder recorder;
+  {
+    Memometer meter(cfg, 0, [&](const HeatMap& m) { live_maps.push_back(m); });
+    MemoryBus bus;
+    bus.attach(&meter);
+    bus.attach(&recorder);
+    for (const auto& b : stream) bus.publish(b);
+    meter.finish(stream.back().time + 1, true);
+  }
+  std::vector<HeatMap> replay_maps;
+  {
+    Memometer meter(cfg, 0, [&](const HeatMap& m) { replay_maps.push_back(m); });
+    MemoryBus bus;
+    bus.attach(&meter);
+    recorder.replay(bus, stream.back().time);
+    meter.finish(stream.back().time + 1, true);
+  }
+  ASSERT_EQ(live_maps.size(), replay_maps.size());
+  for (std::size_t m = 0; m < live_maps.size(); ++m) {
+    EXPECT_EQ(live_maps[m].counts(), replay_maps[m].counts()) << "map " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemometerStreamTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace mhm::hw

@@ -1,0 +1,123 @@
+#include "hw/memory_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hw/trace_recorder.hpp"
+
+namespace mhm::hw {
+namespace {
+
+TEST(AccessBurst, TotalAccessesCountsWords) {
+  AccessBurst b{.time = 0, .base = 0x1000, .size_bytes = 16, .sweeps = 3};
+  EXPECT_EQ(b.total_accesses(), 12u);  // 4 words * 3 sweeps
+}
+
+TEST(AccessBurst, PartialWordRoundsUp) {
+  AccessBurst b{.time = 0, .base = 0x1000, .size_bytes = 5, .sweeps = 1};
+  EXPECT_EQ(b.total_accesses(), 2u);  // 5 bytes -> 2 word fetches
+}
+
+TEST(AccessBurst, SingleFetch) {
+  AccessBurst b{.time = 0, .base = 0x1000, .size_bytes = 4, .sweeps = 1};
+  EXPECT_EQ(b.total_accesses(), 1u);
+}
+
+TEST(MemoryBus, DeliversBurstsToObservers) {
+  MemoryBus bus;
+  TraceRecorder rec1;
+  TraceRecorder rec2;
+  bus.attach(&rec1);
+  bus.attach(&rec2);
+  bus.publish_access(10, 0x2000);
+  EXPECT_EQ(rec1.bursts().size(), 1u);
+  EXPECT_EQ(rec2.bursts().size(), 1u);
+  EXPECT_EQ(rec1.bursts()[0].base, 0x2000u);
+  EXPECT_EQ(rec1.bursts()[0].time, 10u);
+}
+
+TEST(MemoryBus, DetachStopsDelivery) {
+  MemoryBus bus;
+  TraceRecorder rec;
+  bus.attach(&rec);
+  bus.publish_access(1, 0x1000);
+  bus.detach(&rec);
+  bus.publish_access(2, 0x1000);
+  EXPECT_EQ(rec.bursts().size(), 1u);
+}
+
+TEST(MemoryBus, RejectsDoubleAttach) {
+  MemoryBus bus;
+  TraceRecorder rec;
+  bus.attach(&rec);
+  EXPECT_THROW(bus.attach(&rec), LogicError);
+}
+
+TEST(MemoryBus, RejectsNullObserver) {
+  MemoryBus bus;
+  EXPECT_THROW(bus.attach(nullptr), LogicError);
+}
+
+TEST(MemoryBus, EnforcesMonotoneTime) {
+  MemoryBus bus;
+  bus.publish_access(100, 0x1000);
+  EXPECT_THROW(bus.publish_access(99, 0x1000), LogicError);
+  EXPECT_NO_THROW(bus.publish_access(100, 0x1000));  // equal is allowed
+}
+
+TEST(MemoryBus, AdvanceTimeCannotGoBackwards) {
+  MemoryBus bus;
+  bus.advance_time(50);
+  EXPECT_THROW(bus.advance_time(49), LogicError);
+}
+
+TEST(MemoryBus, RejectsEmptyBurst) {
+  MemoryBus bus;
+  EXPECT_THROW(
+      bus.publish(AccessBurst{.time = 0, .base = 0, .size_bytes = 0, .sweeps = 1}),
+      LogicError);
+  EXPECT_THROW(
+      bus.publish(AccessBurst{.time = 0, .base = 0, .size_bytes = 4, .sweeps = 0}),
+      LogicError);
+}
+
+TEST(MemoryBus, TracksStatistics) {
+  MemoryBus bus;
+  bus.publish(AccessBurst{.time = 0, .base = 0, .size_bytes = 8, .sweeps = 2});
+  bus.publish_access(1, 0x100);
+  EXPECT_EQ(bus.bursts_published(), 2u);
+  EXPECT_EQ(bus.accesses_published(), 5u);  // 2*2 + 1
+  EXPECT_EQ(bus.last_time(), 1u);
+}
+
+TEST(TraceRecorder, ReplayReproducesStream) {
+  MemoryBus original;
+  TraceRecorder rec;
+  original.attach(&rec);
+  original.publish_access(5, 0x1000);
+  original.publish(AccessBurst{.time = 7, .base = 0x2000, .size_bytes = 64,
+                               .sweeps = 3});
+
+  MemoryBus replay_bus;
+  TraceRecorder replay_rec;
+  replay_bus.attach(&replay_rec);
+  rec.replay(replay_bus, 100);
+
+  ASSERT_EQ(replay_rec.bursts().size(), 2u);
+  EXPECT_EQ(replay_rec.bursts()[1].sweeps, 3u);
+  EXPECT_EQ(replay_bus.last_time(), 100u);
+  EXPECT_EQ(rec.total_accesses(), replay_rec.total_accesses());
+}
+
+TEST(TraceRecorder, ClearEmptiesBuffer) {
+  MemoryBus bus;
+  TraceRecorder rec;
+  bus.attach(&rec);
+  bus.publish_access(0, 0x1);
+  rec.clear();
+  EXPECT_TRUE(rec.bursts().empty());
+  EXPECT_EQ(rec.total_accesses(), 0u);
+}
+
+}  // namespace
+}  // namespace mhm::hw

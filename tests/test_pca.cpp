@@ -1,0 +1,247 @@
+#include "core/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/vector_ops.hpp"
+#include "test_util.hpp"
+
+namespace mhm {
+namespace {
+
+using mhm::testing::expect_vector_near;
+
+/// Synthetic data living (mostly) in a low-dimensional subspace: a mixture
+/// of `rank` fixed activity patterns plus noise — the structure MHMs have.
+std::vector<std::vector<double>> subspace_data(std::size_t n, std::size_t dim,
+                                               std::size_t rank, double noise,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> patterns(rank, std::vector<double>(dim));
+  for (auto& p : patterns) {
+    for (double& v : p) v = rng.uniform(-1.0, 1.0);
+  }
+  std::vector<std::vector<double>> data(n, std::vector<double>(dim, 0.0));
+  for (auto& x : data) {
+    for (const auto& p : patterns) {
+      const double w = rng.uniform(0.0, 10.0);
+      for (std::size_t i = 0; i < dim; ++i) x[i] += w * p[i];
+    }
+    for (double& v : x) v += rng.normal(0.0, noise);
+  }
+  return data;
+}
+
+TEST(Eigenmemory, RejectsDegenerateInput) {
+  EXPECT_THROW(Eigenmemory::fit(std::vector<std::vector<double>>{}),
+               ConfigError);
+  EXPECT_THROW(
+      Eigenmemory::fit(std::vector<std::vector<double>>{{}, {}}),
+      ConfigError);
+  Eigenmemory::Options opts;
+  opts.components = 5;
+  EXPECT_THROW(
+      Eigenmemory::fit(std::vector<std::vector<double>>{{1.0, 2.0}}, opts),
+      ConfigError);
+}
+
+TEST(Eigenmemory, MeanIsEmpiricalMean) {
+  const std::vector<std::vector<double>> data = {{1.0, 2.0}, {3.0, 6.0}};
+  Eigenmemory::Options opts;
+  opts.components = 1;
+  const auto em = Eigenmemory::fit(data, opts);
+  expect_vector_near(em.mean(), {2.0, 4.0}, 1e-14, "empirical mean");
+}
+
+TEST(Eigenmemory, RecoversDominantDirection) {
+  // Points along (3,4)/5 with tiny noise: first eigenmemory = that axis.
+  Rng rng(1);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.normal(0.0, 5.0);
+    data.push_back({0.6 * t + rng.normal(0.0, 0.01),
+                    0.8 * t + rng.normal(0.0, 0.01)});
+  }
+  Eigenmemory::Options opts;
+  opts.components = 1;
+  const auto em = Eigenmemory::fit(data, opts);
+  const auto u = em.basis().row(0);
+  EXPECT_NEAR(std::abs(u[0]), 0.6, 0.01);
+  EXPECT_NEAR(std::abs(u[1]), 0.8, 0.01);
+}
+
+TEST(Eigenmemory, BasisRowsAreOrthonormal) {
+  const auto data = subspace_data(200, 30, 5, 0.1, 2);
+  Eigenmemory::Options opts;
+  opts.components = 5;
+  const auto em = Eigenmemory::fit(data, opts);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = 0; b < 5; ++b) {
+      const double d = linalg::dot(em.basis().row(a), em.basis().row(b));
+      EXPECT_NEAR(d, a == b ? 1.0 : 0.0, 1e-9) << "rows " << a << "," << b;
+    }
+  }
+}
+
+TEST(Eigenmemory, EigenvaluesDecreaseAndAreNonNegative) {
+  const auto data = subspace_data(300, 25, 6, 0.2, 3);
+  Eigenmemory::Options opts;
+  opts.components = 10;
+  const auto em = Eigenmemory::fit(data, opts);
+  for (std::size_t k = 0; k < em.eigenvalues().size(); ++k) {
+    EXPECT_GE(em.eigenvalues()[k], 0.0);
+    if (k > 0) {
+      EXPECT_LE(em.eigenvalues()[k], em.eigenvalues()[k - 1]);
+    }
+  }
+}
+
+TEST(Eigenmemory, FullRankProjectionReconstructsExactly) {
+  // With L' = L the projection is lossless (paper §4.2: "When we use L
+  // eigenmemories, we can exactly represent the original input MHMs").
+  const auto data = subspace_data(50, 6, 6, 1.0, 4);
+  Eigenmemory::Options opts;
+  opts.components = 6;
+  opts.allow_gram_trick = false;
+  const auto em = Eigenmemory::fit(data, opts);
+  for (const auto& x : data) {
+    const auto rec = em.reconstruct(em.project(x));
+    expect_vector_near(rec, x, 1e-8, "lossless reconstruction");
+    EXPECT_NEAR(em.reconstruction_error(x), 0.0, 1e-7);
+  }
+}
+
+class EigenmemoryComponentSweep
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenmemoryComponentSweep, ReconstructionErrorShrinksWithComponents) {
+  const auto data = subspace_data(150, 20, 8, 0.3, 5);
+  const std::size_t k = GetParam();
+  Eigenmemory::Options opts;
+  opts.components = k;
+  const auto em = Eigenmemory::fit(data, opts);
+  Eigenmemory::Options opts_more;
+  opts_more.components = k + 2;
+  const auto em_more = Eigenmemory::fit(data, opts_more);
+  double err_k = 0.0;
+  double err_more = 0.0;
+  for (const auto& x : data) {
+    err_k += em.reconstruction_error(x);
+    err_more += em_more.reconstruction_error(x);
+  }
+  EXPECT_LE(err_more, err_k + 1e-9);
+  EXPECT_GE(em_more.variance_explained(), em.variance_explained() - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Components, EigenmemoryComponentSweep,
+                         ::testing::Values(1, 2, 4, 6, 8, 10));
+
+TEST(Eigenmemory, AutomaticComponentCountHitsVarianceTarget) {
+  const auto data = subspace_data(200, 40, 4, 0.01, 6);
+  Eigenmemory::Options opts;
+  opts.components = 0;
+  opts.variance_target = 0.999;
+  const auto em = Eigenmemory::fit(data, opts);
+  // 4 strong patterns + tiny noise: ~4 components reach 99.9 %.
+  EXPECT_GE(em.components(), 3u);
+  EXPECT_LE(em.components(), 6u);
+  EXPECT_GE(em.variance_explained(), 0.999);
+}
+
+TEST(Eigenmemory, VarianceTargetValidation) {
+  const auto data = subspace_data(20, 5, 2, 0.1, 7);
+  Eigenmemory::Options opts;
+  opts.components = 0;
+  opts.variance_target = 0.0;
+  EXPECT_THROW(Eigenmemory::fit(data, opts), ConfigError);
+  opts.variance_target = 1.5;
+  EXPECT_THROW(Eigenmemory::fit(data, opts), ConfigError);
+}
+
+TEST(Eigenmemory, GramTrickMatchesDirectPath) {
+  // N < L triggers the Gram path; with the trick disabled the direct
+  // covariance path must give the same subspace. Compare projections of a
+  // probe vector up to sign.
+  const auto data = subspace_data(20, 40, 3, 0.05, 8);
+  Eigenmemory::Options gram_opts;
+  gram_opts.components = 3;
+  gram_opts.allow_gram_trick = true;
+  Eigenmemory::Options direct_opts = gram_opts;
+  direct_opts.allow_gram_trick = false;
+  const auto em_gram = Eigenmemory::fit(data, gram_opts);
+  const auto em_direct = Eigenmemory::fit(data, direct_opts);
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(em_gram.eigenvalues()[k], em_direct.eigenvalues()[k],
+                1e-6 * (1.0 + em_direct.eigenvalues()[k]))
+        << "eigenvalue " << k;
+    std::vector<double> g(em_gram.basis().row(k).begin(),
+                          em_gram.basis().row(k).end());
+    std::vector<double> d(em_direct.basis().row(k).begin(),
+                          em_direct.basis().row(k).end());
+    mhm::testing::expect_vector_near_up_to_sign(g, d, 1e-5);
+  }
+}
+
+TEST(Eigenmemory, ProjectionOfMeanIsZero) {
+  const auto data = subspace_data(100, 15, 3, 0.2, 9);
+  Eigenmemory::Options opts;
+  opts.components = 3;
+  const auto em = Eigenmemory::fit(data, opts);
+  const auto w = em.project(em.mean());
+  for (double v : w) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(Eigenmemory, ProjectRejectsWrongLength) {
+  const auto data = subspace_data(50, 10, 2, 0.1, 10);
+  Eigenmemory::Options opts;
+  opts.components = 2;
+  const auto em = Eigenmemory::fit(data, opts);
+  EXPECT_THROW(em.project(std::vector<double>(9, 0.0)), LogicError);
+}
+
+TEST(Eigenmemory, FitsHeatMapsDirectly) {
+  HeatMapTrace maps;
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    HeatMap m(12);
+    for (std::size_t c = 0; c < 12; ++c) {
+      m.increment(c, rng.poisson(10.0 * static_cast<double>(c % 3 + 1)));
+    }
+    maps.push_back(m);
+  }
+  Eigenmemory::Options opts;
+  opts.components = 4;
+  const auto em = Eigenmemory::fit(maps, opts);
+  EXPECT_EQ(em.input_dim(), 12u);
+  EXPECT_EQ(em.components(), 4u);
+  const auto w = em.project(maps.front());
+  EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(Eigenmemory, ConstantDataHasZeroVariance) {
+  const std::vector<std::vector<double>> data(10,
+                                              std::vector<double>{5.0, 5.0});
+  Eigenmemory::Options opts;
+  opts.components = 1;
+  const auto em = Eigenmemory::fit(data, opts);
+  // Everything projects to ~0 and variance_explained degenerates to 1.
+  const auto w = em.project(data.front());
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(em.variance_explained(), 1.0);
+}
+
+TEST(Eigenmemory, SpectrumIsFullLength) {
+  const auto data = subspace_data(60, 12, 4, 0.3, 12);
+  Eigenmemory::Options opts;
+  opts.components = 2;
+  const auto em = Eigenmemory::fit(data, opts);
+  EXPECT_EQ(em.spectrum().size(), 12u);   // direct path: L eigenvalues
+  EXPECT_EQ(em.eigenvalues().size(), 2u); // retained subset
+}
+
+}  // namespace
+}  // namespace mhm

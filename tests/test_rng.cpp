@@ -1,0 +1,248 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace mhm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a() == b());
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkStreamsAreDecorrelated) {
+  Rng parent(7);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  // Crude decorrelation check: child streams should not collide.
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    equal += (child1() == child2());
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(9);
+  Rng p2(9);
+  Rng c1 = p1.fork(5);
+  Rng c2 = p2.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, UniformWithinUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntCoversFullRangeInclusive) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, NormalMomentsMatchStandard) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalJitterHasMedianOne) {
+  Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.lognormal_jitter(0.3));
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 1.0, 0.02);
+  for (double s : samples) EXPECT_GT(s, 0.0);
+}
+
+TEST(Rng, LognormalJitterZeroSigmaIsIdentity) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(rng.lognormal_jitter(0.0), 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(0.25));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(14);
+  EXPECT_THROW(rng.exponential(0.0), LogicError);
+  EXPECT_THROW(rng.exponential(-1.0), LogicError);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(15);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(static_cast<double>(rng.poisson(3.0)));
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.variance(), 3.0, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(16);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(static_cast<double>(rng.poisson(200.0)));
+  }
+  EXPECT_NEAR(stats.mean(), 200.0, 1.0);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(200.0), 0.5);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  Rng rng(18);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, DiscreteZeroWeightNeverChosen) {
+  Rng rng(19);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.discrete(weights), 1u);
+}
+
+TEST(Rng, DiscreteRejectsDegenerateInput) {
+  Rng rng(20);
+  EXPECT_THROW(rng.discrete({}), LogicError);
+  EXPECT_THROW(rng.discrete({0.0, 0.0}), LogicError);
+  EXPECT_THROW(rng.discrete({1.0, -1.0}), LogicError);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(21);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(23);
+  for (std::size_t n : {0u, 1u, 2u, 10u, 100u}) {
+    const auto perm = rng.permutation(n);
+    ASSERT_EQ(perm.size(), n);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), n);
+    if (n > 0) {
+      EXPECT_EQ(*seen.begin(), 0u);
+      EXPECT_EQ(*seen.rbegin(), n - 1);
+    }
+  }
+}
+
+TEST(Rng, PermutationIsShuffled) {
+  Rng rng(24);
+  // At least one of a few 50-element permutations must differ from identity.
+  bool any_shuffled = false;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto perm = rng.permutation(50);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      if (perm[i] != i) any_shuffled = true;
+    }
+  }
+  EXPECT_TRUE(any_shuffled);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mhm

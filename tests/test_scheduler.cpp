@@ -1,0 +1,307 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hw/trace_recorder.hpp"
+#include "sim/kernel_image.hpp"
+
+namespace mhm::sim {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  KernelImage image_;
+  ServiceCatalog catalog_{image_};
+  hw::MemoryBus bus_;
+  hw::TraceRecorder recorder_;
+
+  void SetUp() override { bus_.attach(&recorder_); }
+
+  Scheduler make_scheduler(std::uint64_t seed = 1) {
+    return Scheduler(catalog_, bus_, Rng(seed));
+  }
+
+  static TaskSpec simple_task(const std::string& name, SimTime exec,
+                              SimTime period) {
+    TaskSpec t;
+    t.name = name;
+    t.exec_time = exec;
+    t.period = period;
+    t.exec_sigma = 0.0;  // deterministic demand for timing assertions
+    return t;
+  }
+};
+
+TEST_F(SchedulerTest, ReleasesJobsPeriodically) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("t", 1 * kMillisecond, 10 * kMillisecond));
+  sched.run_until(100 * kMillisecond);
+  const TaskRuntime& t = sched.task("t");
+  EXPECT_EQ(t.jobs_released, 10u);
+  EXPECT_EQ(t.jobs_completed, 10u);
+  EXPECT_EQ(t.deadline_misses, 0u);
+}
+
+TEST_F(SchedulerTest, PaperTaskSetMeetsAllDeadlines) {
+  Scheduler sched = make_scheduler();
+  for (const auto& spec : paper_task_set()) sched.add_task(spec);
+  sched.run_until(1 * kSecond);  // 10 hyperperiods
+  EXPECT_EQ(sched.stats().deadline_misses, 0u);
+  // Expected job counts per task over 1 s.
+  EXPECT_EQ(sched.task("FFT").jobs_completed, 100u);
+  EXPECT_EQ(sched.task("bitcount").jobs_completed, 50u);
+  EXPECT_EQ(sched.task("basicmath").jobs_completed, 20u);
+  EXPECT_EQ(sched.task("sha").jobs_completed, 10u);
+}
+
+TEST_F(SchedulerTest, CpuUtilizationNearTaskSetLoad) {
+  Scheduler sched = make_scheduler();
+  for (const auto& spec : paper_task_set()) sched.add_task(spec);
+  sched.run_until(2 * kSecond);
+  // 78 % load plus syscall service time: busy fraction slightly above 0.78.
+  EXPECT_GT(sched.stats().cpu_utilization(), 0.74);
+  EXPECT_LT(sched.stats().cpu_utilization(), 0.90);
+}
+
+TEST_F(SchedulerTest, RateMonotonicPriorityOrder) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("slow", 1 * kMillisecond, 100 * kMillisecond));
+  sched.add_task(simple_task("fast", 1 * kMillisecond, 5 * kMillisecond));
+  sched.add_task(simple_task("mid", 1 * kMillisecond, 20 * kMillisecond));
+  EXPECT_LT(sched.task("fast").priority, sched.task("mid").priority);
+  EXPECT_LT(sched.task("mid").priority, sched.task("slow").priority);
+}
+
+TEST_F(SchedulerTest, HigherPriorityTaskPreempts) {
+  // Low-priority task with a long job; high-priority task released mid-job.
+  // Without preemption the high-priority job would miss its deadline.
+  Scheduler sched = make_scheduler();
+  TaskSpec low = simple_task("low", 8 * kMillisecond, 100 * kMillisecond);
+  TaskSpec high = simple_task("high", 1 * kMillisecond, 4 * kMillisecond);
+  high.phase = 2 * kMillisecond;  // released while `low` is running
+  sched.add_task(low);
+  sched.add_task(high);
+  sched.run_until(100 * kMillisecond);
+  EXPECT_EQ(sched.stats().deadline_misses, 0u);
+  EXPECT_EQ(sched.task("high").jobs_completed, 25u);
+  EXPECT_EQ(sched.task("low").jobs_completed, 1u);
+}
+
+TEST_F(SchedulerTest, OverloadedSystemMissesDeadlines) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("a", 8 * kMillisecond, 10 * kMillisecond));
+  sched.add_task(simple_task("b", 8 * kMillisecond, 10 * kMillisecond));
+  sched.run_until(200 * kMillisecond);
+  EXPECT_GT(sched.stats().deadline_misses, 0u);
+}
+
+TEST_F(SchedulerTest, TicksFireEveryMillisecond) {
+  Scheduler sched = make_scheduler();
+  // Ticks fire at t = 1, 2, ..., 49 ms inside the half-open window
+  // [0, 50 ms); the tick at exactly 50 ms belongs to the next window.
+  sched.run_until(50 * kMillisecond);
+  EXPECT_EQ(sched.stats().ticks, 49u);
+  sched.run_until(51 * kMillisecond);
+  EXPECT_EQ(sched.stats().ticks, 50u);  // the 50 ms tick fires on re-entry
+}
+
+TEST_F(SchedulerTest, IdlePlusBusyEqualsElapsed) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("t", 2 * kMillisecond, 10 * kMillisecond));
+  sched.run_until(500 * kMillisecond);
+  EXPECT_EQ(sched.stats().idle_time + sched.stats().busy_time,
+            500 * kMillisecond);
+}
+
+TEST_F(SchedulerTest, ContextSwitchesCounted) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("a", 1 * kMillisecond, 10 * kMillisecond));
+  sched.add_task(simple_task("b", 1 * kMillisecond, 10 * kMillisecond));
+  sched.run_until(100 * kMillisecond);
+  // At least two switches per 10 ms frame (idle->a, a->b).
+  EXPECT_GE(sched.stats().context_switches, 20u);
+}
+
+TEST_F(SchedulerTest, EmitsKernelTrafficOntoBus) {
+  Scheduler sched = make_scheduler();
+  for (const auto& spec : paper_task_set()) sched.add_task(spec);
+  sched.run_until(100 * kMillisecond);
+  EXPECT_GT(recorder_.bursts().size(), 100u);
+  // Some bursts inside kernel text (syscalls/ticks), some outside (user).
+  std::size_t kernel = 0;
+  std::size_t user = 0;
+  for (const auto& b : recorder_.bursts()) {
+    if (b.base >= image_.base() && b.base < image_.text_end()) {
+      ++kernel;
+    } else {
+      ++user;
+    }
+  }
+  EXPECT_GT(kernel, 0u);
+  EXPECT_GT(user, 0u);
+}
+
+TEST_F(SchedulerTest, AddTaskRejectsDuplicates) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("t", 1 * kMillisecond, 10 * kMillisecond));
+  EXPECT_THROW(
+      sched.add_task(simple_task("t", 1 * kMillisecond, 10 * kMillisecond)),
+      ConfigError);
+}
+
+TEST_F(SchedulerTest, KillTaskStopsReleases) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("t", 1 * kMillisecond, 10 * kMillisecond));
+  sched.run_until(50 * kMillisecond);
+  sched.kill_task("t");
+  const auto jobs_at_kill = sched.task("t").jobs_released;
+  sched.run_until(200 * kMillisecond);
+  EXPECT_EQ(sched.task("t").jobs_released, jobs_at_kill);
+  EXPECT_FALSE(sched.task("t").active);
+  EXPECT_THROW(sched.kill_task("t"), ConfigError);
+}
+
+TEST_F(SchedulerTest, RuntimeLaunchStartsReleasingJobs) {
+  Scheduler sched = make_scheduler();
+  sched.run_until(30 * kMillisecond);
+  sched.add_task(simple_task("late", 1 * kMillisecond, 10 * kMillisecond),
+                 /*emit_launch=*/true);
+  sched.run_until(130 * kMillisecond);
+  EXPECT_GE(sched.task("late").jobs_completed, 9u);
+}
+
+TEST_F(SchedulerTest, PayloadInjectionRunsOnceThenKills) {
+  Scheduler sched = make_scheduler();
+  TaskSpec victim = simple_task("victim", 1 * kMillisecond, 10 * kMillisecond);
+  sched.add_task(victim);
+  sched.run_until(25 * kMillisecond);
+  sched.inject_payload("victim", {"sys_personality", "do_execve"},
+                       /*kill_host=*/true);
+  sched.run_until(100 * kMillisecond);
+  EXPECT_FALSE(sched.task("victim").active);
+  // The victim stopped mid-run: it completed the payload job and no more.
+  EXPECT_LT(sched.task("victim").jobs_completed, 5u);
+}
+
+TEST_F(SchedulerTest, PayloadWithoutKillKeepsTaskAlive) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("victim", 1 * kMillisecond, 10 * kMillisecond));
+  sched.run_until(25 * kMillisecond);
+  sched.inject_payload("victim", {"sys_mprotect"}, /*kill_host=*/false);
+  sched.run_until(100 * kMillisecond);
+  EXPECT_TRUE(sched.task("victim").active);
+  EXPECT_EQ(sched.task("victim").jobs_completed, 10u);
+}
+
+TEST_F(SchedulerTest, PayloadValidatesServiceNames) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("t", 1 * kMillisecond, 10 * kMillisecond));
+  EXPECT_THROW(sched.inject_payload("t", {"no_such_service"}, false),
+               ConfigError);
+  EXPECT_THROW(sched.inject_payload("ghost", {"sys_read"}, false),
+               ConfigError);
+}
+
+TEST_F(SchedulerTest, ServiceLatencyDelaysCompletion) {
+  // A task issuing many reads finishes later when reads are hijacked.
+  auto run_completion_time = [&](SimTime extra) {
+    hw::MemoryBus bus;
+    Scheduler sched(catalog_, bus, Rng(7));
+    TaskSpec t = simple_task("reader", 5 * kMillisecond, 50 * kMillisecond);
+    t.syscalls = {{.service = "sys_read", .calls_per_job = 50}};
+    sched.add_task(t);
+    if (extra > 0) sched.set_service_latency("sys_read", extra);
+    sched.run_until(40 * kMillisecond);
+    return sched.stats().busy_time;
+  };
+  const SimTime plain = run_completion_time(0);
+  const SimTime hijacked = run_completion_time(100 * kMicrosecond);
+  // 50 reads * 100 us = 5 ms extra busy time.
+  EXPECT_GT(hijacked, plain + 4 * kMillisecond);
+}
+
+TEST_F(SchedulerTest, ScheduledActionsFireInOrder) {
+  Scheduler sched = make_scheduler();
+  std::vector<int> fired;
+  sched.at(20 * kMillisecond, [&] { fired.push_back(2); });
+  sched.at(10 * kMillisecond, [&] { fired.push_back(1); });
+  sched.at(30 * kMillisecond, [&] { fired.push_back(3); });
+  sched.run_until(50 * kMillisecond);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(SchedulerTest, ActionInThePastThrows) {
+  Scheduler sched = make_scheduler();
+  sched.run_until(10 * kMillisecond);
+  EXPECT_THROW(sched.at(5 * kMillisecond, [] {}), LogicError);
+}
+
+TEST_F(SchedulerTest, TaskLookupThrowsForUnknownName) {
+  Scheduler sched = make_scheduler();
+  EXPECT_THROW(sched.task("nope"), ConfigError);
+}
+
+TEST_F(SchedulerTest, DeterministicGivenSeed) {
+  auto run = [&](std::uint64_t seed) {
+    hw::MemoryBus bus;
+    hw::TraceRecorder rec;
+    bus.attach(&rec);
+    Scheduler sched(catalog_, bus, Rng(seed));
+    for (const auto& spec : paper_task_set()) sched.add_task(spec);
+    sched.run_until(200 * kMillisecond);
+    return rec.total_accesses();
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST_F(SchedulerTest, ResponseTimesTrackExecutionDemand) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("t", 2 * kMillisecond, 10 * kMillisecond));
+  sched.run_until(500 * kMillisecond);
+  const TaskRuntime& t = sched.task("t");
+  // Alone on the CPU, each job responds in ~its execution time (plus small
+  // syscall/tick perturbation).
+  EXPECT_GE(t.mean_response(), 2 * kMillisecond);
+  EXPECT_LT(t.mean_response(), 3 * kMillisecond);
+  EXPECT_GE(t.worst_response, t.mean_response());
+  EXPECT_LT(t.worst_response, 4 * kMillisecond);
+}
+
+TEST_F(SchedulerTest, LowPriorityTaskHasLongerResponseUnderInterference) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("fast", 2 * kMillisecond, 5 * kMillisecond));
+  sched.add_task(simple_task("slow", 3 * kMillisecond, 50 * kMillisecond));
+  sched.run_until(1 * kSecond);
+  const TaskRuntime& slow = sched.task("slow");
+  // `slow` is preempted by `fast` (40 % load): its 3 ms of work takes
+  // visibly longer than 3 ms to complete.
+  EXPECT_GT(slow.worst_response, 4 * kMillisecond);
+  EXPECT_EQ(slow.deadline_misses, 0u);
+}
+
+TEST_F(SchedulerTest, BlockCpuStallsAllTasks) {
+  Scheduler sched = make_scheduler();
+  sched.add_task(simple_task("t", 1 * kMillisecond, 10 * kMillisecond));
+  sched.at(20 * kMillisecond, [&] { sched.block_cpu(5 * kMillisecond); });
+  sched.run_until(100 * kMillisecond);
+  const TaskRuntime& t = sched.task("t");
+  // The job released at 20 ms could not start before 25 ms.
+  EXPECT_GE(t.worst_response, 6 * kMillisecond);
+  EXPECT_EQ(sched.stats().deadline_misses, 0u);
+}
+
+TEST_F(SchedulerTest, SyscallsAreCounted) {
+  Scheduler sched = make_scheduler();
+  TaskSpec t = simple_task("t", 2 * kMillisecond, 10 * kMillisecond);
+  t.syscalls = {{.service = "sys_write", .calls_per_job = 3}};
+  sched.add_task(t);
+  sched.run_until(100 * kMillisecond);
+  // ~3 syscalls per job, 10 jobs (jitter on call counts allows slack).
+  EXPECT_GE(sched.stats().syscalls, 20u);
+  EXPECT_LE(sched.stats().syscalls, 45u);
+}
+
+}  // namespace
+}  // namespace mhm::sim

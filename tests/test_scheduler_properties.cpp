@@ -1,0 +1,126 @@
+// Property-based scheduler tests: invariants that must hold for *any*
+// task set, checked over randomly generated workloads.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hw/trace_recorder.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/kernel_image.hpp"
+
+namespace mhm::sim {
+namespace {
+
+/// Generate a random periodic task set with total utilization <= `u_cap`.
+std::vector<TaskSpec> random_task_set(Rng& rng, double u_cap) {
+  const auto count = static_cast<std::size_t>(rng.uniform_int(1, 5));
+  std::vector<TaskSpec> tasks;
+  double budget = u_cap;
+  for (std::size_t i = 0; i < count; ++i) {
+    TaskSpec t;
+    t.name = "task" + std::to_string(i);
+    // Periods from {5, 10, 20, 25, 40, 50, 100} ms.
+    static constexpr std::uint64_t kPeriods[] = {5, 10, 20, 25, 40, 50, 100};
+    t.period = kPeriods[rng.uniform_int(0, 6)] * kMillisecond;
+    const double share = rng.uniform(0.05, budget / static_cast<double>(count - i + 1));
+    t.exec_time = std::max<SimTime>(
+        100 * kMicrosecond,
+        static_cast<SimTime>(share * static_cast<double>(t.period)));
+    t.exec_sigma = 0.01;
+    t.user_text_base = 0x10000 + i * 0x20000;
+    if (rng.bernoulli(0.5)) {
+      t.syscalls.push_back({.service = "sys_gettimeofday",
+                            .calls_per_job = 1});
+    }
+    if (rng.bernoulli(0.3)) {
+      t.syscalls.push_back({.service = "sys_read", .calls_per_job = 3});
+    }
+    budget -= t.utilization();
+    if (budget <= 0.05) break;
+    tasks.push_back(std::move(t));
+  }
+  if (tasks.empty()) {
+    TaskSpec t;
+    t.name = "task0";
+    t.period = 20 * kMillisecond;
+    t.exec_time = 2 * kMillisecond;
+    t.user_text_base = 0x10000;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  KernelImage image_;
+  ServiceCatalog catalog_{image_};
+};
+
+TEST_P(SchedulerPropertyTest, InvariantsHoldForRandomTaskSets) {
+  Rng rng(GetParam());
+  const auto tasks = random_task_set(rng, 0.65);
+
+  hw::MemoryBus bus;
+  hw::TraceRecorder recorder;
+  bus.attach(&recorder);
+  Scheduler sched(catalog_, bus, Rng(GetParam() * 31 + 7));
+  for (const auto& t : tasks) sched.add_task(t);
+
+  const SimTime horizon = 2 * kSecond;
+  sched.run_until(horizon);
+
+  // 1. Time conservation: busy + idle == elapsed.
+  EXPECT_EQ(sched.stats().busy_time + sched.stats().idle_time, horizon);
+
+  // 2. Completions never exceed releases; jobs released per the period.
+  EXPECT_LE(sched.stats().jobs_completed, sched.stats().jobs_released);
+  for (const auto& t : tasks) {
+    const auto& rt = sched.task(t.name);
+    const std::uint64_t expected_releases =
+        static_cast<std::uint64_t>(horizon / t.period) + 1;  // release at 0
+    EXPECT_LE(rt.jobs_released, expected_releases) << t.name;
+    EXPECT_GE(rt.jobs_released + 1, expected_releases) << t.name;
+
+    // 3. Response times bounded below by execution demand (minus jitter
+    //    slack) and above by the horizon.
+    if (rt.jobs_completed > 0) {
+      EXPECT_GE(rt.worst_response, t.exec_time / 2) << t.name;
+      EXPECT_LE(rt.worst_response, horizon) << t.name;
+      EXPECT_LE(rt.mean_response(), rt.worst_response) << t.name;
+    }
+  }
+
+  // 4. At <= 65 % utilization with RM priorities, every deadline holds
+  //    (Liu–Layland bound for 5 tasks is 74.3 %).
+  EXPECT_EQ(sched.stats().deadline_misses, 0u);
+
+  // 5. Bus time never runs ahead of the scheduler clock.
+  EXPECT_LE(bus.last_time(), sched.now());
+
+  // 6. The monitored stream is non-empty (ticks at minimum).
+  EXPECT_GE(sched.stats().ticks, horizon / Scheduler::kTickPeriod - 1);
+  EXPECT_GT(recorder.bursts().size(), 0u);
+}
+
+TEST_P(SchedulerPropertyTest, UtilizationMatchesDemand) {
+  Rng rng(GetParam() + 1000);
+  const auto tasks = random_task_set(rng, 0.6);
+  double expected_u = 0.0;
+  for (const auto& t : tasks) expected_u += t.utilization();
+
+  hw::MemoryBus bus;
+  Scheduler sched(catalog_, bus, Rng(GetParam()));
+  for (const auto& t : tasks) sched.add_task(t);
+  sched.run_until(4 * kSecond);
+
+  // Busy fraction ~ task utilization plus (small) syscall service time.
+  const double measured = sched.stats().cpu_utilization();
+  EXPECT_GT(measured, expected_u * 0.9);
+  EXPECT_LT(measured, expected_u + 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace mhm::sim

@@ -1,0 +1,202 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mhm {
+namespace {
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum of squares = 32, /7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), LogicError);
+  EXPECT_THROW(s.variance(), LogicError);
+  EXPECT_THROW(s.min(), LogicError);
+  EXPECT_THROW(s.max(), LogicError);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  Rng rng(1);
+  RunningStats a;
+  RunningStats b;
+  RunningStats combined;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    combined.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 1.5);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  // Sorted: 10, 20, 30, 40. p = 0.5 -> position 1.5 -> 25.
+  EXPECT_DOUBLE_EQ(quantile({40.0, 10.0, 30.0, 20.0}, 0.5), 25.0);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), ConfigError);
+  EXPECT_THROW(quantile({1.0}, -0.1), ConfigError);
+  EXPECT_THROW(quantile({1.0}, 1.1), ConfigError);
+}
+
+TEST(Quantile, ApproximatesTrueQuantileOnLargeSample) {
+  Rng rng(2);
+  std::vector<double> v;
+  for (int i = 0; i < 100000; ++i) v.push_back(rng.uniform());
+  EXPECT_NEAR(quantile(v, 0.005), 0.005, 0.002);
+  EXPECT_NEAR(quantile(v, 0.99), 0.99, 0.002);
+}
+
+TEST(MeanOf, Basic) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW(mean_of({}), ConfigError);
+}
+
+TEST(PearsonCorrelation, PerfectPositive) {
+  EXPECT_NEAR(pearson_correlation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, PerfectNegative) {
+  EXPECT_NEAR(pearson_correlation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantInputIsZero) {
+  EXPECT_DOUBLE_EQ(pearson_correlation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonCorrelation, RejectsMismatch) {
+  EXPECT_THROW(pearson_correlation({1.0}, {1.0, 2.0}), ConfigError);
+  EXPECT_THROW(pearson_correlation({}, {}), ConfigError);
+}
+
+TEST(ConfusionCounts, RatesComputeCorrectly) {
+  ConfusionCounts c;
+  c.true_positives = 8;
+  c.false_negatives = 2;
+  c.false_positives = 1;
+  c.true_negatives = 9;
+  EXPECT_DOUBLE_EQ(c.true_positive_rate(), 0.8);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.1);
+  EXPECT_NEAR(c.precision(), 8.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.85);
+}
+
+TEST(ConfusionCounts, EmptyDenominatorsAreZero) {
+  ConfusionCounts c;
+  EXPECT_DOUBLE_EQ(c.true_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+}
+
+TEST(EvaluateThreshold, CountsLowerIsAnomalous) {
+  // Normal scores high, anomalies low; threshold between.
+  const std::vector<double> normal = {-10, -11, -9, -30};
+  const std::vector<double> anomaly = {-50, -45, -12};
+  const auto c = evaluate_threshold(normal, anomaly, -20.0);
+  EXPECT_EQ(c.true_negatives, 3u);
+  EXPECT_EQ(c.false_positives, 1u);   // the -30 normal
+  EXPECT_EQ(c.true_positives, 2u);    // -50, -45
+  EXPECT_EQ(c.false_negatives, 1u);   // the -12 anomaly
+}
+
+TEST(RocAuc, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(roc_auc({-1, -2, -3}, {-10, -20}), 1.0);
+}
+
+TEST(RocAuc, NoSeparationIsHalf) {
+  const std::vector<double> same = {-5, -5, -5};
+  EXPECT_NEAR(roc_auc(same, same), 0.5, 1e-12);
+}
+
+TEST(RocAuc, InvertedScoresGiveZero) {
+  EXPECT_DOUBLE_EQ(roc_auc({-10, -20}, {-1, -2}), 0.0);
+}
+
+TEST(RocAuc, PartialOverlap) {
+  // anomalies: -4, -2 | normals: -3, -1.
+  // Pairs (anomaly < normal): (-4,-3)✓, (-4,-1)✓, (-2,-3)✗, (-2,-1)✓ -> 3/4.
+  EXPECT_DOUBLE_EQ(roc_auc({-3, -1}, {-4, -2}), 0.75);
+}
+
+TEST(RocAuc, RejectsEmptyClasses) {
+  EXPECT_THROW(roc_auc({}, {-1.0}), ConfigError);
+  EXPECT_THROW(roc_auc({-1.0}, {}), ConfigError);
+}
+
+TEST(Histogram, BinsCorrectly) {
+  const auto h = histogram({0.1, 0.2, 0.6, 0.9}, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);
+  EXPECT_EQ(h[1], 2u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  const auto h = histogram({-5.0, 5.0}, 0.0, 1.0, 4);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[3], 1u);
+}
+
+TEST(Histogram, RejectsBadArguments) {
+  EXPECT_THROW(histogram({1.0}, 0.0, 1.0, 0), ConfigError);
+  EXPECT_THROW(histogram({1.0}, 1.0, 0.0, 4), ConfigError);
+}
+
+}  // namespace
+}  // namespace mhm

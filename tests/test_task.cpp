@@ -1,0 +1,139 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mhm::sim {
+namespace {
+
+TEST(TaskSpec, PaperTaskSetMatchesSection51Table) {
+  const auto tasks = paper_task_set();
+  ASSERT_EQ(tasks.size(), 4u);
+
+  EXPECT_EQ(tasks[0].name, "FFT");
+  EXPECT_EQ(tasks[0].exec_time, 2 * kMillisecond);
+  EXPECT_EQ(tasks[0].period, 10 * kMillisecond);
+
+  EXPECT_EQ(tasks[1].name, "bitcount");
+  EXPECT_EQ(tasks[1].exec_time, 3 * kMillisecond);
+  EXPECT_EQ(tasks[1].period, 20 * kMillisecond);
+
+  EXPECT_EQ(tasks[2].name, "basicmath");
+  EXPECT_EQ(tasks[2].exec_time, 9 * kMillisecond);
+  EXPECT_EQ(tasks[2].period, 50 * kMillisecond);
+
+  EXPECT_EQ(tasks[3].name, "sha");
+  EXPECT_EQ(tasks[3].exec_time, 25 * kMillisecond);
+  EXPECT_EQ(tasks[3].period, 100 * kMillisecond);
+}
+
+TEST(TaskSpec, PaperSystemLoadIs78Percent) {
+  // §5.1 footnote: "the system load (78%)".
+  EXPECT_NEAR(total_utilization(paper_task_set()), 0.78, 1e-12);
+}
+
+TEST(TaskSpec, PaperHyperperiodIs100ms) {
+  EXPECT_EQ(hyperperiod(paper_task_set()), 100 * kMillisecond);
+}
+
+TEST(TaskSpec, QsortMatchesSection53) {
+  // §5.3-1: qsort exec time 6 ms, period 30 ms.
+  const TaskSpec q = qsort_task_spec();
+  EXPECT_EQ(q.name, "qsort");
+  EXPECT_EQ(q.exec_time, 6 * kMillisecond);
+  EXPECT_EQ(q.period, 30 * kMillisecond);
+  EXPECT_NEAR(q.utilization(), 0.2, 1e-12);
+}
+
+TEST(TaskSpec, ShaIsReadHeavy) {
+  // §5.3-3 relies on sha using "many read system calls".
+  const auto tasks = paper_task_set();
+  const TaskSpec& sha = tasks[3];
+  double read_calls = 0.0;
+  for (const auto& sc : sha.syscalls) {
+    if (sc.service == "sys_read") read_calls += sc.calls_per_job;
+  }
+  EXPECT_GE(read_calls, 50.0);
+}
+
+TEST(TaskSpec, UtilizationComputation) {
+  TaskSpec t;
+  t.name = "t";
+  t.exec_time = 5 * kMillisecond;
+  t.period = 20 * kMillisecond;
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.25);
+}
+
+TEST(TaskSpec, ValidationCatchesBadSpecs) {
+  TaskSpec t;
+  t.name = "";
+  t.exec_time = 1;
+  t.period = 2;
+  EXPECT_THROW(t.validate(), ConfigError);
+
+  t.name = "x";
+  t.period = 0;
+  EXPECT_THROW(t.validate(), ConfigError);
+
+  t.period = 10;
+  t.exec_time = 0;
+  EXPECT_THROW(t.validate(), ConfigError);
+
+  t.exec_time = 11;  // exceeds period
+  EXPECT_THROW(t.validate(), ConfigError);
+}
+
+TEST(TaskSpec, ValidationCatchesBadSyscallWindows) {
+  TaskSpec t;
+  t.name = "x";
+  t.exec_time = 1 * kMillisecond;
+  t.period = 10 * kMillisecond;
+  t.syscalls = {{.service = "sys_read", .calls_per_job = 1,
+                 .window_begin = 0.8, .window_end = 0.2}};
+  EXPECT_THROW(t.validate(), ConfigError);
+
+  t.syscalls = {{.service = "sys_read", .calls_per_job = -1.0}};
+  EXPECT_THROW(t.validate(), ConfigError);
+
+  t.syscalls = {{.service = "sys_read", .calls_per_job = 1,
+                 .window_begin = 0.0, .window_end = 1.5}};
+  EXPECT_THROW(t.validate(), ConfigError);
+}
+
+TEST(TaskSpec, HyperperiodOfCoprimePeriods) {
+  TaskSpec a;
+  a.name = "a";
+  a.exec_time = 1;
+  a.period = 3;
+  TaskSpec b;
+  b.name = "b";
+  b.exec_time = 1;
+  b.period = 7;
+  EXPECT_EQ(hyperperiod({a, b}), 21u);
+}
+
+TEST(TaskSpec, UserTextRegionsDoNotOverlapKernel) {
+  for (const auto& t : paper_task_set()) {
+    EXPECT_LT(t.user_text_base + t.user_text_size, 0xC0008000u) << t.name;
+  }
+  const TaskSpec q = qsort_task_spec();
+  EXPECT_LT(q.user_text_base + q.user_text_size, 0xC0008000u);
+}
+
+TEST(TaskSpec, DistinctUserTextRegionsPerTask) {
+  auto tasks = paper_task_set();
+  tasks.push_back(qsort_task_spec());
+  tasks.push_back(shell_task_spec());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (std::size_t j = i + 1; j < tasks.size(); ++j) {
+      const bool overlap =
+          tasks[i].user_text_base < tasks[j].user_text_base + tasks[j].user_text_size &&
+          tasks[j].user_text_base < tasks[i].user_text_base + tasks[i].user_text_size;
+      EXPECT_FALSE(overlap) << tasks[i].name << " vs " << tasks[j].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mhm::sim

@@ -1,0 +1,33 @@
+#include "test_util.hpp"
+
+#include "common/rng.hpp"
+
+namespace mhm::testing {
+
+linalg::Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+linalg::Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  linalg::Matrix spd = multiply(a, a.transposed());
+  for (std::size_t i = 0; i < n; ++i) {
+    spd(i, i) += 0.5 * static_cast<double>(n);
+  }
+  return spd;
+}
+
+}  // namespace mhm::testing

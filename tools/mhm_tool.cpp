@@ -1,0 +1,368 @@
+// mhm_tool — command-line front end for the Memory Heat Map pipeline.
+//
+//   mhm_tool train   --out model.mhm [--runs N] [--seconds S] [--granularity B]
+//                    [--components L'] [--gmm J] [--seed X]
+//       Profile normal behaviour of the simulated system and save the
+//       trained detector (eigenmemory + GMM + thresholds).
+//
+//   mhm_tool inspect --model model.mhm
+//       Print what a trained model contains.
+//
+//   mhm_tool monitor --model model.mhm [--attack name] [--trigger-ms T]
+//                    [--duration-ms D] [--seed X] [--csv out.csv]
+//       Replay a (possibly attacked) run against a trained model and report
+//       per-interval verdicts. Exit code 2 if any anomaly was flagged.
+//
+//   mhm_tool simulate [--duration-ms D] [--seed X] [--granularity B]
+//       Run the simulator alone and print per-interval MHM summaries.
+//
+//   mhm_tool record  --out trace.mhmt [--runs N] [--seconds S]
+//                    [--granularity B] [--seed X]
+//       Profile normal behaviour and persist the raw MHM trace, so
+//       detectors with different hyper-parameters can be trained later
+//       without re-running the system (see `train --trace`).
+//
+//   mhm_tool train --trace trace.mhmt --out model.mhm [--components L']
+//                  [--gmm J]
+//       Train from a previously recorded trace instead of a live run.
+//
+//   mhm_tool ingest --in addresses.txt --out trace.mhmt [--base A]
+//                   [--size S] [--granularity B] [--interval-ms I]
+//       Convert an external text address trace (gem5/valgrind-style:
+//       "time_ns address [size [sweeps]]" per line) into a heat-map trace
+//       by running it through the Memometer model, ready for
+//       `train --trace`.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "attacks/attacks.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/csv.hpp"
+#include "core/model_io.hpp"
+#include "core/trace_io.hpp"
+#include "hw/address_trace.hpp"
+#include "hw/memometer.hpp"
+#include "pipeline/experiment.hpp"
+
+namespace {
+
+using namespace mhm;
+
+/// Tiny flag parser: --key value pairs after the subcommand.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        throw ConfigError(std::string("expected --flag, got ") + argv[i]);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      throw ConfigError("flags must come in --key value pairs");
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  std::optional<std::string> get_optional(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  bool require(const std::string& key, std::string* out) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+sim::SystemConfig config_from(const Args& args) {
+  sim::SystemConfig cfg =
+      sim::SystemConfig::paper_default(args.get_u64("seed", 1));
+  cfg.monitor.granularity = args.get_u64("granularity", 2048);
+  cfg.monitor.validate();
+  return cfg;
+}
+
+int cmd_train(const Args& args) {
+  std::string out_path;
+  if (!args.require("out", &out_path)) {
+    std::fprintf(stderr, "train: --out <file> is required\n");
+    return 1;
+  }
+  AnomalyDetector::Options opts;
+  opts.pca.components = args.get_u64("components", 9);
+  opts.gmm.components = args.get_u64("gmm", 5);
+  opts.gmm.restarts = args.get_u64("restarts", 10);
+
+  if (const auto trace_path = args.get_optional("trace")) {
+    // Offline training from a recorded trace: first 80 % of the maps train
+    // the model, the rest calibrate the thresholds.
+    const RecordedTrace trace = load_trace_file(*trace_path);
+    if (trace.maps.size() < 20) {
+      std::fprintf(stderr, "train: trace too small (%zu maps)\n",
+                   trace.maps.size());
+      return 1;
+    }
+    const auto split = trace.maps.begin() +
+                       static_cast<std::ptrdiff_t>(trace.maps.size() * 4 / 5);
+    const HeatMapTrace training(trace.maps.begin(), split);
+    const HeatMapTrace validation(split, trace.maps.end());
+    const AnomalyDetector detector =
+        AnomalyDetector::train(training, validation, opts);
+    save_model_file(DetectorModel::from_detector(detector), out_path);
+    std::printf("trained offline on %zu + %zu MHMs from %s; "
+                "variance explained %.4f%%\n",
+                training.size(), validation.size(), trace_path->c_str(),
+                100.0 * detector.eigenmemory().variance_explained());
+    std::printf("model written to %s\n", out_path.c_str());
+    return 0;
+  }
+
+  sim::SystemConfig cfg = config_from(args);
+  pipeline::ProfilingPlan plan;
+  plan.runs = args.get_u64("runs", 10);
+  plan.run_duration = args.get_u64("seconds", 3) * kSecond;
+
+  std::printf("profiling %zu runs x %.1f s at granularity %llu (L = %zu)...\n",
+              plan.runs,
+              static_cast<double>(plan.run_duration) / kSecond,
+              static_cast<unsigned long long>(cfg.monitor.granularity),
+              cfg.monitor.cell_count());
+  pipeline::TrainedPipeline pipe = pipeline::train_pipeline(cfg, plan, opts);
+
+  save_model_file(DetectorModel::from_detector(pipe.det()), out_path);
+  std::printf("trained on %zu MHMs; variance explained %.4f%%; "
+              "theta_0.5 = %.2f, theta_1 = %.2f\n",
+              pipe.training.size(),
+              100.0 * pipe.det().eigenmemory().variance_explained(),
+              pipe.theta_05.log10_value, pipe.theta_1.log10_value);
+  std::printf("model written to %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_record(const Args& args) {
+  std::string out_path;
+  if (!args.require("out", &out_path)) {
+    std::fprintf(stderr, "record: --out <file> is required\n");
+    return 1;
+  }
+  sim::SystemConfig cfg = config_from(args);
+  pipeline::ProfilingPlan plan;
+  plan.runs = args.get_u64("runs", 10);
+  plan.run_duration = args.get_u64("seconds", 3) * kSecond;
+  plan.seed_base = args.get_u64("seed", 1) + 99;
+
+  RecordedTrace trace;
+  trace.config = cfg.monitor;
+  trace.maps = pipeline::collect_normal_trace(cfg, plan);
+  save_trace_file(trace, out_path);
+  std::printf("recorded %zu MHMs (%zu cells each) to %s\n",
+              trace.maps.size(), trace.config.cell_count(), out_path.c_str());
+  return 0;
+}
+
+int cmd_ingest(const Args& args) {
+  std::string in_path;
+  std::string out_path;
+  if (!args.require("in", &in_path) || !args.require("out", &out_path)) {
+    std::fprintf(stderr, "ingest: --in <trace.txt> and --out <trace.mhmt> "
+                         "are required\n");
+    return 1;
+  }
+  MhmConfig monitor;
+  monitor.base = args.get_u64("base", 0xC0008000);
+  monitor.size = args.get_u64("size", 3'013'284);
+  monitor.granularity = args.get_u64("granularity", 2048);
+  monitor.interval = args.get_u64("interval-ms", 10) * kMillisecond;
+  monitor.validate();
+
+  RecordedTrace trace;
+  trace.config = monitor;
+  hw::MemoryBus bus;
+  hw::Memometer meter(monitor, 0,
+                      [&](const HeatMap& m) { trace.maps.push_back(m); });
+  bus.attach(&meter);
+  const auto stats = hw::replay_address_trace_file(in_path, bus);
+  meter.finish(stats.last_time, /*deliver_partial=*/false);
+
+  save_trace_file(trace, out_path);
+  std::printf("ingested %llu access lines (%llu fetches, %.1f ms of trace); "
+              "%llu in-region, %llu filtered\n",
+              static_cast<unsigned long long>(stats.lines_parsed),
+              static_cast<unsigned long long>(stats.accesses),
+              static_cast<double>(stats.last_time - stats.first_time) /
+                  kMillisecond,
+              static_cast<unsigned long long>(meter.accesses_counted()),
+              static_cast<unsigned long long>(meter.accesses_filtered_out()));
+  std::printf("%zu complete heat maps (%zu cells) -> %s\n", trace.maps.size(),
+              monitor.cell_count(), out_path.c_str());
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  std::string model_path;
+  if (!args.require("model", &model_path)) {
+    std::fprintf(stderr, "inspect: --model <file> is required\n");
+    return 1;
+  }
+  const DetectorModel model = load_model_file(model_path);
+  std::printf("model: %s\n", model_path.c_str());
+  std::printf("  eigenmemory: %zu components over %zu cells, "
+              "variance explained %.4f%%\n",
+              model.eigenmemory.components(), model.eigenmemory.input_dim(),
+              100.0 * model.eigenmemory.variance_explained());
+  std::printf("  GMM: %zu components over %zu dims (%zu parameters)\n",
+              model.gmm.component_count(), model.gmm.dimension(),
+              model.gmm.parameter_count());
+  for (std::size_t j = 0; j < model.gmm.component_count(); ++j) {
+    std::printf("    pattern %zu: weight %.3f\n", j,
+                model.gmm.components()[j].weight);
+  }
+  const ThresholdCalibrator cal(model.validation_scores);
+  std::printf("  thresholds: theta_0.5 = %.2f, theta_1 = %.2f "
+              "(from %zu validation scores); primary p = %.3f\n",
+              cal.theta_05().log10_value, cal.theta_1().log10_value,
+              model.validation_scores.size(), model.primary_p);
+  return 0;
+}
+
+int cmd_monitor(const Args& args) {
+  std::string model_path;
+  if (!args.require("model", &model_path)) {
+    std::fprintf(stderr, "monitor: --model <file> is required\n");
+    return 1;
+  }
+  const AnomalyDetector detector = load_model_file(model_path).to_detector();
+
+  sim::SystemConfig cfg = config_from(args);
+  if (cfg.monitor.cell_count() != detector.eigenmemory().input_dim()) {
+    std::fprintf(stderr,
+                 "monitor: model expects %zu cells but the configured system "
+                 "produces %zu — match --granularity to the training run\n",
+                 detector.eigenmemory().input_dim(), cfg.monitor.cell_count());
+    return 1;
+  }
+
+  const SimTime duration = args.get_u64("duration-ms", 4000) * kMillisecond;
+  const SimTime trigger = args.get_u64("trigger-ms", 2000) * kMillisecond;
+  std::unique_ptr<attacks::AttackScenario> attack;
+  if (const auto name = args.get_optional("attack")) {
+    attack = attacks::make_scenario(*name);
+  }
+
+  pipeline::ScenarioRun run = pipeline::run_scenario(
+      cfg, attack.get(), trigger, duration, &detector,
+      args.get_u64("seed", 42));
+
+  LinePlotOptions plot;
+  plot.title = attack ? "log10 Pr(M) — attack '" + run.scenario + "' at the bar"
+                      : "log10 Pr(M) — normal run";
+  plot.hlines = {detector.primary_threshold().log10_value};
+  if (attack) plot.vlines = {static_cast<double>(run.trigger_interval)};
+  std::fputs(render_line_plot(run.log10_densities, plot).c_str(), stdout);
+
+  std::size_t alarms = 0;
+  for (const auto& v : run.verdicts) alarms += v.anomalous;
+  std::printf("%zu intervals analyzed, %zu flagged anomalous "
+              "(threshold theta at p = %.3f)\n",
+              run.verdicts.size(), alarms, detector.primary_threshold().p);
+  if (attack) {
+    const auto latency =
+        run.detection_latency(detector.primary_threshold().log10_value);
+    std::printf("attack '%s' at interval %llu: %s\n", run.scenario.c_str(),
+                static_cast<unsigned long long>(run.trigger_interval),
+                latency ? ("detected +" + std::to_string(*latency) +
+                           " intervals")
+                              .c_str()
+                        : "NOT detected");
+  }
+
+  if (const auto csv_path = args.get_optional("csv")) {
+    CsvWriter csv(*csv_path);
+    csv.header({"interval", "log10_density", "anomalous"});
+    for (std::size_t i = 0; i < run.verdicts.size(); ++i) {
+      csv.row()
+          .col(run.verdicts[i].interval_index)
+          .col(run.verdicts[i].log10_density)
+          .col(static_cast<int>(run.verdicts[i].anomalous));
+    }
+    std::printf("wrote %s\n", csv_path->c_str());
+  }
+  return alarms > 0 ? 2 : 0;
+}
+
+int cmd_simulate(const Args& args) {
+  sim::SystemConfig cfg = config_from(args);
+  sim::System system(cfg);
+  system.run_for(args.get_u64("duration-ms", 500) * kMillisecond);
+  for (const auto& map : system.trace()) {
+    std::printf("%s\n", summarize(map).c_str());
+  }
+  const auto& stats = system.scheduler().stats();
+  std::printf("jobs: %llu released / %llu completed, %llu deadline misses, "
+              "%llu context switches, CPU %.1f%% busy\n",
+              static_cast<unsigned long long>(stats.jobs_released),
+              static_cast<unsigned long long>(stats.jobs_completed),
+              static_cast<unsigned long long>(stats.deadline_misses),
+              static_cast<unsigned long long>(stats.context_switches),
+              100.0 * stats.cpu_utilization());
+  std::printf("%-12s %10s %10s %14s %14s\n", "task", "period", "jobs",
+              "mean response", "worst response");
+  for (const auto& t : system.scheduler().tasks()) {
+    std::printf("%-12s %7.0f ms %10llu %11.2f ms %11.2f ms\n",
+                t.spec.name.c_str(),
+                static_cast<double>(t.spec.period) / kMillisecond,
+                static_cast<unsigned long long>(t.jobs_completed),
+                static_cast<double>(t.mean_response()) / kMillisecond,
+                static_cast<double>(t.worst_response) / kMillisecond);
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mhm_tool <train|record|ingest|inspect|monitor|simulate> [--flag "
+               "value]...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  try {
+    const Args args(argc, argv, 2);
+    const std::string cmd = argv[1];
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "record") return cmd_record(args);
+    if (cmd == "ingest") return cmd_ingest(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+    if (cmd == "monitor") return cmd_monitor(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mhm_tool: %s\n", e.what());
+    return 1;
+  }
+}
