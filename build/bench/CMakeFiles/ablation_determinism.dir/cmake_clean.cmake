@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_determinism.dir/ablation_determinism.cpp.o"
+  "CMakeFiles/ablation_determinism.dir/ablation_determinism.cpp.o.d"
+  "ablation_determinism"
+  "ablation_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gmm.dir/ablation_gmm.cpp.o"
+  "CMakeFiles/ablation_gmm.dir/ablation_gmm.cpp.o.d"
+  "ablation_gmm"
+  "ablation_gmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

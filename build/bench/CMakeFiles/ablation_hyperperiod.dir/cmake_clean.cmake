@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hyperperiod.dir/ablation_hyperperiod.cpp.o"
+  "CMakeFiles/ablation_hyperperiod.dir/ablation_hyperperiod.cpp.o.d"
+  "ablation_hyperperiod"
+  "ablation_hyperperiod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hyperperiod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phase_aware.dir/ablation_phase_aware.cpp.o"
+  "CMakeFiles/ablation_phase_aware.dir/ablation_phase_aware.cpp.o.d"
+  "ablation_phase_aware"
+  "ablation_phase_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phase_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

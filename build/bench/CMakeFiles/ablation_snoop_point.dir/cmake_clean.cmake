@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_snoop_point.dir/ablation_snoop_point.cpp.o"
+  "CMakeFiles/ablation_snoop_point.dir/ablation_snoop_point.cpp.o.d"
+  "ablation_snoop_point"
+  "ablation_snoop_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_snoop_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

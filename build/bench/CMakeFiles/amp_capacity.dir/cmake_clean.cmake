@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amp_capacity.dir/amp_capacity.cpp.o"
+  "CMakeFiles/amp_capacity.dir/amp_capacity.cpp.o.d"
+  "amp_capacity"
+  "amp_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amp_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_time.dir/analysis_time.cpp.o"
+  "CMakeFiles/analysis_time.dir/analysis_time.cpp.o.d"
+  "analysis_time"
+  "analysis_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

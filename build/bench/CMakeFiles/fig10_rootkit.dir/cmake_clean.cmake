@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rootkit.dir/fig10_rootkit.cpp.o"
+  "CMakeFiles/fig10_rootkit.dir/fig10_rootkit.cpp.o.d"
+  "fig10_rootkit"
+  "fig10_rootkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rootkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_training.dir/fig6_training.cpp.o"
+  "CMakeFiles/fig6_training.dir/fig6_training.cpp.o.d"
+  "fig6_training"
+  "fig6_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_app_addition.dir/fig7_app_addition.cpp.o"
+  "CMakeFiles/fig7_app_addition.dir/fig7_app_addition.cpp.o.d"
+  "fig7_app_addition"
+  "fig7_app_addition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_app_addition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

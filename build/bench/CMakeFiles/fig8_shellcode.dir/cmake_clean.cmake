@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_shellcode.dir/fig8_shellcode.cpp.o"
+  "CMakeFiles/fig8_shellcode.dir/fig8_shellcode.cpp.o.d"
+  "fig8_shellcode"
+  "fig8_shellcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_shellcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_traffic_volume.dir/fig9_traffic_volume.cpp.o"
+  "CMakeFiles/fig9_traffic_volume.dir/fig9_traffic_volume.cpp.o.d"
+  "fig9_traffic_volume"
+  "fig9_traffic_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_traffic_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

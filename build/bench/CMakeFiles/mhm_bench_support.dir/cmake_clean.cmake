@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhm_bench_support.dir/bench_support.cpp.o"
+  "CMakeFiles/mhm_bench_support.dir/bench_support.cpp.o.d"
+  "libmhm_bench_support.a"
+  "libmhm_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhm_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmhm_bench_support.a"
+)

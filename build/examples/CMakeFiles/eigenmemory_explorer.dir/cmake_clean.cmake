@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigenmemory_explorer.dir/eigenmemory_explorer.cpp.o"
+  "CMakeFiles/eigenmemory_explorer.dir/eigenmemory_explorer.cpp.o.d"
+  "eigenmemory_explorer"
+  "eigenmemory_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigenmemory_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

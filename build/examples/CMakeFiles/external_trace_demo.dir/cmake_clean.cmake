@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_trace_demo.dir/external_trace_demo.cpp.o"
+  "CMakeFiles/external_trace_demo.dir/external_trace_demo.cpp.o.d"
+  "external_trace_demo"
+  "external_trace_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_trace_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootkit_forensics.dir/rootkit_forensics.cpp.o"
+  "CMakeFiles/rootkit_forensics.dir/rootkit_forensics.cpp.o.d"
+  "rootkit_forensics"
+  "rootkit_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootkit_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

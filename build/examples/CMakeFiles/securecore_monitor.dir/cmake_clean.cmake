@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/securecore_monitor.dir/securecore_monitor.cpp.o"
+  "CMakeFiles/securecore_monitor.dir/securecore_monitor.cpp.o.d"
+  "securecore_monitor"
+  "securecore_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/securecore_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhm_attacks.dir/attacks.cpp.o"
+  "CMakeFiles/mhm_attacks.dir/attacks.cpp.o.d"
+  "libmhm_attacks.a"
+  "libmhm_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhm_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhm_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/mhm_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/mhm_common.dir/csv.cpp.o"
+  "CMakeFiles/mhm_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mhm_common.dir/error.cpp.o"
+  "CMakeFiles/mhm_common.dir/error.cpp.o.d"
+  "CMakeFiles/mhm_common.dir/rng.cpp.o"
+  "CMakeFiles/mhm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mhm_common.dir/stats.cpp.o"
+  "CMakeFiles/mhm_common.dir/stats.cpp.o.d"
+  "libmhm_common.a"
+  "libmhm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alarm_filter.cpp" "src/core/CMakeFiles/mhm_core.dir/alarm_filter.cpp.o" "gcc" "src/core/CMakeFiles/mhm_core.dir/alarm_filter.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/mhm_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/mhm_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/explainer.cpp" "src/core/CMakeFiles/mhm_core.dir/explainer.cpp.o" "gcc" "src/core/CMakeFiles/mhm_core.dir/explainer.cpp.o.d"
+  "/root/repo/src/core/gmm.cpp" "src/core/CMakeFiles/mhm_core.dir/gmm.cpp.o" "gcc" "src/core/CMakeFiles/mhm_core.dir/gmm.cpp.o.d"
+  "/root/repo/src/core/heatmap.cpp" "src/core/CMakeFiles/mhm_core.dir/heatmap.cpp.o" "gcc" "src/core/CMakeFiles/mhm_core.dir/heatmap.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/mhm_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/mhm_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/pca.cpp" "src/core/CMakeFiles/mhm_core.dir/pca.cpp.o" "gcc" "src/core/CMakeFiles/mhm_core.dir/pca.cpp.o.d"
+  "/root/repo/src/core/phase_detector.cpp" "src/core/CMakeFiles/mhm_core.dir/phase_detector.cpp.o" "gcc" "src/core/CMakeFiles/mhm_core.dir/phase_detector.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/mhm_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/mhm_core.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mhm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mhm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

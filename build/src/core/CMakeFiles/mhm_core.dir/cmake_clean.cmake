@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhm_core.dir/alarm_filter.cpp.o"
+  "CMakeFiles/mhm_core.dir/alarm_filter.cpp.o.d"
+  "CMakeFiles/mhm_core.dir/detector.cpp.o"
+  "CMakeFiles/mhm_core.dir/detector.cpp.o.d"
+  "CMakeFiles/mhm_core.dir/explainer.cpp.o"
+  "CMakeFiles/mhm_core.dir/explainer.cpp.o.d"
+  "CMakeFiles/mhm_core.dir/gmm.cpp.o"
+  "CMakeFiles/mhm_core.dir/gmm.cpp.o.d"
+  "CMakeFiles/mhm_core.dir/heatmap.cpp.o"
+  "CMakeFiles/mhm_core.dir/heatmap.cpp.o.d"
+  "CMakeFiles/mhm_core.dir/model_io.cpp.o"
+  "CMakeFiles/mhm_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/mhm_core.dir/pca.cpp.o"
+  "CMakeFiles/mhm_core.dir/pca.cpp.o.d"
+  "CMakeFiles/mhm_core.dir/phase_detector.cpp.o"
+  "CMakeFiles/mhm_core.dir/phase_detector.cpp.o.d"
+  "CMakeFiles/mhm_core.dir/trace_io.cpp.o"
+  "CMakeFiles/mhm_core.dir/trace_io.cpp.o.d"
+  "libmhm_core.a"
+  "libmhm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

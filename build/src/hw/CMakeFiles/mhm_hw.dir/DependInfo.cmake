@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/address_trace.cpp" "src/hw/CMakeFiles/mhm_hw.dir/address_trace.cpp.o" "gcc" "src/hw/CMakeFiles/mhm_hw.dir/address_trace.cpp.o.d"
+  "/root/repo/src/hw/cache_model.cpp" "src/hw/CMakeFiles/mhm_hw.dir/cache_model.cpp.o" "gcc" "src/hw/CMakeFiles/mhm_hw.dir/cache_model.cpp.o.d"
+  "/root/repo/src/hw/control_registers.cpp" "src/hw/CMakeFiles/mhm_hw.dir/control_registers.cpp.o" "gcc" "src/hw/CMakeFiles/mhm_hw.dir/control_registers.cpp.o.d"
+  "/root/repo/src/hw/memometer.cpp" "src/hw/CMakeFiles/mhm_hw.dir/memometer.cpp.o" "gcc" "src/hw/CMakeFiles/mhm_hw.dir/memometer.cpp.o.d"
+  "/root/repo/src/hw/memory_bus.cpp" "src/hw/CMakeFiles/mhm_hw.dir/memory_bus.cpp.o" "gcc" "src/hw/CMakeFiles/mhm_hw.dir/memory_bus.cpp.o.d"
+  "/root/repo/src/hw/trace_recorder.cpp" "src/hw/CMakeFiles/mhm_hw.dir/trace_recorder.cpp.o" "gcc" "src/hw/CMakeFiles/mhm_hw.dir/trace_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mhm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mhm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mhm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhm_hw.dir/address_trace.cpp.o"
+  "CMakeFiles/mhm_hw.dir/address_trace.cpp.o.d"
+  "CMakeFiles/mhm_hw.dir/cache_model.cpp.o"
+  "CMakeFiles/mhm_hw.dir/cache_model.cpp.o.d"
+  "CMakeFiles/mhm_hw.dir/control_registers.cpp.o"
+  "CMakeFiles/mhm_hw.dir/control_registers.cpp.o.d"
+  "CMakeFiles/mhm_hw.dir/memometer.cpp.o"
+  "CMakeFiles/mhm_hw.dir/memometer.cpp.o.d"
+  "CMakeFiles/mhm_hw.dir/memory_bus.cpp.o"
+  "CMakeFiles/mhm_hw.dir/memory_bus.cpp.o.d"
+  "CMakeFiles/mhm_hw.dir/trace_recorder.cpp.o"
+  "CMakeFiles/mhm_hw.dir/trace_recorder.cpp.o.d"
+  "libmhm_hw.a"
+  "libmhm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhm_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/mhm_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/mhm_linalg.dir/eigen_sym.cpp.o"
+  "CMakeFiles/mhm_linalg.dir/eigen_sym.cpp.o.d"
+  "CMakeFiles/mhm_linalg.dir/lu.cpp.o"
+  "CMakeFiles/mhm_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/mhm_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/mhm_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/mhm_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/mhm_linalg.dir/vector_ops.cpp.o.d"
+  "libmhm_linalg.a"
+  "libmhm_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhm_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

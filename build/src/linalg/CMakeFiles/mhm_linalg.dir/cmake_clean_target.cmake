@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmhm_linalg.a"
+)

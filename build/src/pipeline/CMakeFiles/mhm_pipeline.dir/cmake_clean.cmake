@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhm_pipeline.dir/amp_monitor.cpp.o"
+  "CMakeFiles/mhm_pipeline.dir/amp_monitor.cpp.o.d"
+  "CMakeFiles/mhm_pipeline.dir/experiment.cpp.o"
+  "CMakeFiles/mhm_pipeline.dir/experiment.cpp.o.d"
+  "CMakeFiles/mhm_pipeline.dir/secure_core.cpp.o"
+  "CMakeFiles/mhm_pipeline.dir/secure_core.cpp.o.d"
+  "libmhm_pipeline.a"
+  "libmhm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmhm_pipeline.a"
+)

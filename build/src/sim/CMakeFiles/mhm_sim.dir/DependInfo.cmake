@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/kernel_image.cpp" "src/sim/CMakeFiles/mhm_sim.dir/kernel_image.cpp.o" "gcc" "src/sim/CMakeFiles/mhm_sim.dir/kernel_image.cpp.o.d"
+  "/root/repo/src/sim/kernel_services.cpp" "src/sim/CMakeFiles/mhm_sim.dir/kernel_services.cpp.o" "gcc" "src/sim/CMakeFiles/mhm_sim.dir/kernel_services.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/mhm_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/mhm_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/mhm_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/mhm_sim.dir/system.cpp.o.d"
+  "/root/repo/src/sim/task.cpp" "src/sim/CMakeFiles/mhm_sim.dir/task.cpp.o" "gcc" "src/sim/CMakeFiles/mhm_sim.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mhm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mhm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mhm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mhm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

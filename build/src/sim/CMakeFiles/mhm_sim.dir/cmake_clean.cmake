@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhm_sim.dir/kernel_image.cpp.o"
+  "CMakeFiles/mhm_sim.dir/kernel_image.cpp.o.d"
+  "CMakeFiles/mhm_sim.dir/kernel_services.cpp.o"
+  "CMakeFiles/mhm_sim.dir/kernel_services.cpp.o.d"
+  "CMakeFiles/mhm_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/mhm_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mhm_sim.dir/system.cpp.o"
+  "CMakeFiles/mhm_sim.dir/system.cpp.o.d"
+  "CMakeFiles/mhm_sim.dir/task.cpp.o"
+  "CMakeFiles/mhm_sim.dir/task.cpp.o.d"
+  "libmhm_sim.a"
+  "libmhm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhm_test_util.dir/test_util.cpp.o"
+  "CMakeFiles/mhm_test_util.dir/test_util.cpp.o.d"
+  "libmhm_test_util.a"
+  "libmhm_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhm_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_address_trace.dir/test_address_trace.cpp.o"
+  "CMakeFiles/test_address_trace.dir/test_address_trace.cpp.o.d"
+  "test_address_trace"
+  "test_address_trace.pdb"
+  "test_address_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_address_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

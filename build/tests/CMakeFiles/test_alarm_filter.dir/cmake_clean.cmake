@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alarm_filter.dir/test_alarm_filter.cpp.o"
+  "CMakeFiles/test_alarm_filter.dir/test_alarm_filter.cpp.o.d"
+  "test_alarm_filter"
+  "test_alarm_filter.pdb"
+  "test_alarm_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alarm_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

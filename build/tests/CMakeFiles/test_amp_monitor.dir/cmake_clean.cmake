@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amp_monitor.dir/test_amp_monitor.cpp.o"
+  "CMakeFiles/test_amp_monitor.dir/test_amp_monitor.cpp.o.d"
+  "test_amp_monitor"
+  "test_amp_monitor.pdb"
+  "test_amp_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amp_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cholesky_lu.dir/test_cholesky_lu.cpp.o"
+  "CMakeFiles/test_cholesky_lu.dir/test_cholesky_lu.cpp.o.d"
+  "test_cholesky_lu"
+  "test_cholesky_lu.pdb"
+  "test_cholesky_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cholesky_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_registers.dir/test_control_registers.cpp.o"
+  "CMakeFiles/test_control_registers.dir/test_control_registers.cpp.o.d"
+  "test_control_registers"
+  "test_control_registers.pdb"
+  "test_control_registers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_ascii.dir/test_csv_ascii.cpp.o"
+  "CMakeFiles/test_csv_ascii.dir/test_csv_ascii.cpp.o.d"
+  "test_csv_ascii"
+  "test_csv_ascii.pdb"
+  "test_csv_ascii[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_ascii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explainer.dir/test_explainer.cpp.o"
+  "CMakeFiles/test_explainer.dir/test_explainer.cpp.o.d"
+  "test_explainer"
+  "test_explainer.pdb"
+  "test_explainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

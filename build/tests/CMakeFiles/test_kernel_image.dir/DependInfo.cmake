@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kernel_image.cpp" "tests/CMakeFiles/test_kernel_image.dir/test_kernel_image.cpp.o" "gcc" "tests/CMakeFiles/test_kernel_image.dir/test_kernel_image.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/mhm_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/mhm_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/mhm_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mhm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mhm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mhm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mhm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_services.dir/test_kernel_services.cpp.o"
+  "CMakeFiles/test_kernel_services.dir/test_kernel_services.cpp.o.d"
+  "test_kernel_services"
+  "test_kernel_services.pdb"
+  "test_kernel_services[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_basic.dir/test_linalg_basic.cpp.o"
+  "CMakeFiles/test_linalg_basic.dir/test_linalg_basic.cpp.o.d"
+  "test_linalg_basic"
+  "test_linalg_basic.pdb"
+  "test_linalg_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memometer.dir/test_memometer.cpp.o"
+  "CMakeFiles/test_memometer.dir/test_memometer.cpp.o.d"
+  "test_memometer"
+  "test_memometer.pdb"
+  "test_memometer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memometer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

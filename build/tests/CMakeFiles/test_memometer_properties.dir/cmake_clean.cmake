@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memometer_properties.dir/test_memometer_properties.cpp.o"
+  "CMakeFiles/test_memometer_properties.dir/test_memometer_properties.cpp.o.d"
+  "test_memometer_properties"
+  "test_memometer_properties.pdb"
+  "test_memometer_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memometer_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

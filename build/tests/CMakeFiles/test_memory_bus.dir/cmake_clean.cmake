@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_bus.dir/test_memory_bus.cpp.o"
+  "CMakeFiles/test_memory_bus.dir/test_memory_bus.cpp.o.d"
+  "test_memory_bus"
+  "test_memory_bus.pdb"
+  "test_memory_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_detector.dir/test_phase_detector.cpp.o"
+  "CMakeFiles/test_phase_detector.dir/test_phase_detector.cpp.o.d"
+  "test_phase_detector"
+  "test_phase_detector.pdb"
+  "test_phase_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhm_tool.dir/mhm_tool.cpp.o"
+  "CMakeFiles/mhm_tool.dir/mhm_tool.cpp.o.d"
+  "mhm_tool"
+  "mhm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

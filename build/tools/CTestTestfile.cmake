@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(mhm_tool_record "/root/repo/build/tools/mhm_tool" "record" "--out" "/root/repo/build/tools/smoke.mhmt" "--runs" "2" "--seconds" "1" "--granularity" "16384")
+set_tests_properties(mhm_tool_record PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mhm_tool_train_offline "/root/repo/build/tools/mhm_tool" "train" "--trace" "/root/repo/build/tools/smoke.mhmt" "--out" "/root/repo/build/tools/smoke.mhm" "--restarts" "2")
+set_tests_properties(mhm_tool_train_offline PROPERTIES  DEPENDS "mhm_tool_record" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mhm_tool_inspect "/root/repo/build/tools/mhm_tool" "inspect" "--model" "/root/repo/build/tools/smoke.mhm")
+set_tests_properties(mhm_tool_inspect PROPERTIES  DEPENDS "mhm_tool_train_offline" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mhm_tool_monitor_normal "/root/repo/build/tools/mhm_tool" "monitor" "--model" "/root/repo/build/tools/smoke.mhm" "--granularity" "16384" "--duration-ms" "1000" "--seed" "77")
+set_tests_properties(mhm_tool_monitor_normal PROPERTIES  DEPENDS "mhm_tool_train_offline" PASS_REGULAR_EXPRESSION "intervals analyzed" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mhm_tool_monitor_attack "/root/repo/build/tools/mhm_tool" "monitor" "--model" "/root/repo/build/tools/smoke.mhm" "--granularity" "16384" "--attack" "shellcode" "--trigger-ms" "500" "--duration-ms" "1500")
+set_tests_properties(mhm_tool_monitor_attack PROPERTIES  DEPENDS "mhm_tool_train_offline" PASS_REGULAR_EXPRESSION "detected \\+" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mhm_tool_rejects_unknown_command "/root/repo/build/tools/mhm_tool" "frobnicate")
+set_tests_properties(mhm_tool_rejects_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mhm_tool_ingest "/root/repo/build/tools/mhm_tool" "ingest" "--in" "/root/repo/build/tools/smoke_addr.txt" "--out" "/root/repo/build/tools/smoke_ingested.mhmt")
+set_tests_properties(mhm_tool_ingest PROPERTIES  PASS_REGULAR_EXPRESSION "2 complete heat maps" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
