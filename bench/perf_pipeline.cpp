@@ -1,0 +1,202 @@
+// PERF — deterministic parallel runtime (train + analyze).
+//
+// Trains the full pipeline (trace collection -> eigenmemory PCA -> GMM EM)
+// at several thread counts, times every stage, verifies the outputs are
+// bit-identical across thread counts (the runtime's determinism contract),
+// and appends the numbers to BENCH_pipeline.json so later PRs have a perf
+// trajectory. Field documentation lives in docs/FILE_FORMATS.md.
+//
+// MHM_BENCH_FAST=1 shrinks the workload as usual; the JSON records which
+// mode produced it. Speedups are relative to the threads=1 row; on a
+// single-core host they hover around 1.0 by construction (the JSON records
+// hardware_threads so the trajectory stays interpretable).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "common/parallel.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct StageTimes {
+  std::size_t threads = 0;
+  double collect_seconds = 0.0;
+  double pca_seconds = 0.0;
+  double gmm_seconds = 0.0;
+  double train_total_seconds = 0.0;
+  double scenario_batch_seconds = 0.0;
+  double analyze_mean_us = 0.0;
+  std::vector<double> probe_scores;  ///< For the bit-identical check.
+};
+
+}  // namespace
+
+int main() {
+  using namespace mhm;
+  using namespace mhm::bench;
+
+  print_header("PERF — deterministic parallel runtime (train + analyze)");
+
+  const sim::SystemConfig cfg = bench_config(1);
+  const pipeline::ProfilingPlan plan = bench_plan();
+  const AnomalyDetector::Options opts = bench_detector_options();
+  const std::size_t hardware = configured_threads();
+
+  std::vector<std::size_t> counts = {1, 2, 4};
+  if (hardware > 4) counts.push_back(hardware);
+
+  std::vector<StageTimes> rows;
+  for (const std::size_t threads : counts) {
+    set_global_threads(threads);
+    StageTimes row;
+    row.threads = threads;
+
+    const auto t_train0 = Clock::now();
+    auto t0 = Clock::now();
+    const HeatMapTrace training = pipeline::collect_normal_trace(cfg, plan);
+    pipeline::ProfilingPlan validation_plan = plan;
+    validation_plan.runs = std::max<std::size_t>(1, plan.runs / 5);
+    validation_plan.seed_base = plan.seed_base + plan.runs + 1000;
+    const HeatMapTrace validation =
+        pipeline::collect_normal_trace(cfg, validation_plan);
+    row.collect_seconds = seconds_since(t0);
+
+    std::vector<std::vector<double>> train_raw;
+    train_raw.reserve(training.size());
+    for (const auto& m : training) train_raw.push_back(m.as_vector());
+
+    t0 = Clock::now();
+    const Eigenmemory pca = Eigenmemory::fit(train_raw, opts.pca);
+    const auto reduced = pca.project_all(train_raw);
+    row.pca_seconds = seconds_since(t0);
+
+    t0 = Clock::now();
+    Gmm gmm = Gmm::fit(reduced, opts.gmm);
+    row.gmm_seconds = seconds_since(t0);
+
+    std::vector<double> validation_scores;
+    validation_scores.reserve(validation.size());
+    for (const auto& v : validation) {
+      validation_scores.push_back(gmm.log10_density(pca.project(v.as_vector())));
+    }
+    AnomalyDetector detector = AnomalyDetector::assemble(
+        pca, std::move(gmm), ThresholdCalibrator(validation_scores),
+        opts.primary_p);
+    row.train_total_seconds = seconds_since(t_train0);
+
+    // Scenario fan-out: independent seeded systems scored by the shared
+    // detector (run_scenarios parallelizes over specs).
+    const SimTime interval = cfg.monitor.interval;
+    std::vector<pipeline::ScenarioSpec> specs;
+    for (std::uint64_t s = 0; s < 4; ++s) {
+      specs.push_back(pipeline::ScenarioSpec{
+          .attack = "", .trigger_time = 0,
+          .duration = (fast_mode() ? 50 : 100) * interval,
+          .seed = 20000 + s});
+    }
+    t0 = Clock::now();
+    const auto scenario_runs = pipeline::run_scenarios(cfg, specs, &detector);
+    row.scenario_batch_seconds = seconds_since(t0);
+
+    // Online analyze latency (serial — the secure core scores one interval
+    // at a time) and the determinism probe: score every validation map.
+    detector.reset_timing();
+    row.probe_scores.reserve(validation.size());
+    for (const auto& m : validation) {
+      row.probe_scores.push_back(detector.analyze(m).log10_density);
+    }
+    row.analyze_mean_us = detector.analysis_time_stats().mean() / 1000.0;
+    for (const auto& run : scenario_runs) {
+      row.probe_scores.insert(row.probe_scores.end(),
+                              run.log10_densities.begin(),
+                              run.log10_densities.end());
+    }
+    rows.push_back(std::move(row));
+    std::printf(
+        "[bench] threads=%zu collect=%.2fs pca=%.2fs gmm=%.2fs "
+        "train_total=%.2fs scenarios=%.2fs analyze=%.1fus\n",
+        threads, rows.back().collect_seconds, rows.back().pca_seconds,
+        rows.back().gmm_seconds, rows.back().train_total_seconds,
+        rows.back().scenario_batch_seconds, rows.back().analyze_mean_us);
+  }
+  set_global_threads(0);  // Back to the MHM_THREADS / hardware default.
+
+  bool bit_identical = true;
+  for (const auto& row : rows) {
+    if (row.probe_scores != rows.front().probe_scores) bit_identical = false;
+  }
+
+  TextTable table({"threads", "collect (s)", "PCA (s)", "GMM (s)",
+                   "train total (s)", "speedup", "analyze (us)"});
+  const double serial_total = rows.front().train_total_seconds;
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.threads),
+                   fmt_double(row.collect_seconds, 2),
+                   fmt_double(row.pca_seconds, 2),
+                   fmt_double(row.gmm_seconds, 2),
+                   fmt_double(row.train_total_seconds, 2),
+                   fmt_double(serial_total / row.train_total_seconds, 2) + "x",
+                   fmt_double(row.analyze_mean_us, 1)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("bit-identical across thread counts: %s\n",
+              bit_identical ? "yes" : "NO — DETERMINISM VIOLATION");
+
+  std::FILE* json = std::fopen("BENCH_pipeline.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write BENCH_pipeline.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"perf_pipeline\",\n");
+  std::fprintf(json, "  \"mode\": \"%s\",\n", fast_mode() ? "fast" : "paper");
+  std::fprintf(json, "  \"hardware_threads\": %zu,\n", hardware);
+  std::fprintf(json,
+               "  \"config\": {\"granularity\": %llu, \"runs\": %zu, "
+               "\"run_duration_ms\": %llu, \"pca_components\": %zu, "
+               "\"gmm_components\": %zu, \"gmm_restarts\": %zu},\n",
+               static_cast<unsigned long long>(cfg.monitor.granularity),
+               plan.runs,
+               static_cast<unsigned long long>(plan.run_duration / kMillisecond),
+               opts.pca.components, opts.gmm.components, opts.gmm.restarts);
+  std::fprintf(json, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::fprintf(json,
+                 "    {\"threads\": %zu, \"collect_seconds\": %.6f, "
+                 "\"pca_seconds\": %.6f, \"gmm_seconds\": %.6f, "
+                 "\"train_total_seconds\": %.6f, "
+                 "\"scenario_batch_seconds\": %.6f, "
+                 "\"analyze_mean_us\": %.3f, "
+                 "\"train_speedup_vs_serial\": %.4f}%s\n",
+                 row.threads, row.collect_seconds, row.pca_seconds,
+                 row.gmm_seconds, row.train_total_seconds,
+                 row.scenario_batch_seconds, row.analyze_mean_us,
+                 serial_total / row.train_total_seconds,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"best_train_speedup\": %.4f,\n",
+               serial_total / [&] {
+                 double best = rows.front().train_total_seconds;
+                 for (const auto& r : rows) {
+                   best = std::min(best, r.train_total_seconds);
+                 }
+                 return best;
+               }());
+  std::fprintf(json, "  \"bit_identical\": %s\n",
+               bit_identical ? "true" : "false");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("[bench] wrote BENCH_pipeline.json\n");
+  return bit_identical ? 0 : 1;
+}

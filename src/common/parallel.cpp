@@ -1,0 +1,165 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mhm {
+
+namespace {
+
+/// Set while a thread executes pool work; a nested parallel_for from inside
+/// a body must run inline or it would wait on chunks only itself can drain.
+thread_local bool tl_in_pool_work = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t g = effective_grain(n, grain);
+  const std::size_t chunks = (n + g - 1) / g;
+
+  auto run_serial = [&] {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      body(c * g, std::min(n, (c + 1) * g));
+    }
+  };
+
+  if (workers_.empty() || chunks == 1 || tl_in_pool_work) {
+    run_serial();
+    return;
+  }
+  // A second top-level parallel_for while one is in flight (e.g. from a user
+  // thread outside the pool) simply runs serially instead of queueing.
+  std::unique_lock<std::mutex> submit(submit_mu_, std::try_to_lock);
+  if (!submit.owns_lock()) {
+    run_serial();
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->grain = g;
+  job->chunks = chunks;
+  job->body = &body;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = job;
+    ++job_epoch_;
+  }
+  cv_.notify_all();
+
+  drain(*job);  // The caller participates; by return, every chunk is claimed.
+
+  std::unique_lock<std::mutex> lk(job->m);
+  job->done.wait(lk, [&] { return job->active == 0; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::drain(Job& job) {
+  {
+    std::lock_guard<std::mutex> lk(job.m);
+    ++job.active;
+  }
+  tl_in_pool_work = true;
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) break;
+    const std::size_t begin = c * job.grain;
+    const std::size_t end = std::min(job.n, begin + job.grain);
+    try {
+      (*job.body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(job.m);
+      if (!job.error) job.error = std::current_exception();
+      // Cancel: park the cursor past the grid so no new chunk is claimed.
+      job.next.store(job.chunks, std::memory_order_relaxed);
+    }
+  }
+  tl_in_pool_work = false;
+  {
+    std::lock_guard<std::mutex> lk(job.m);
+    if (--job.active == 0) job.done.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || job_epoch_ != seen; });
+      if (stop_) return;
+      seen = job_epoch_;
+      job = job_;
+    }
+    // A worker that wakes after the job finished finds the cursor exhausted
+    // and immediately goes back to sleep; the shared_ptr keeps `job` valid.
+    if (job) drain(*job);
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_threads_override = 0;
+
+}  // namespace
+
+std::size_t configured_threads() {
+  if (const char* env = std::getenv("MHM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) {
+      return static_cast<std::size_t>(std::min<long>(v, 256));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return std::min<unsigned>(hw, 256);
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) {
+    const std::size_t t =
+        g_threads_override != 0 ? g_threads_override : configured_threads();
+    g_pool = std::make_unique<ThreadPool>(t);
+  }
+  return *g_pool;
+}
+
+std::size_t global_threads() { return global_pool().threads(); }
+
+void set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_threads_override = threads;
+  g_pool.reset();
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  global_pool().parallel_for(n, grain, body);
+}
+
+}  // namespace mhm

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mhm {
+
+/// Deterministic data-parallel runtime.
+///
+/// The training pipeline (trace collection, PCA, GMM EM) is embarrassingly
+/// parallel, but the whole repository promises bit-identical results for a
+/// given seed — the determinism tests assert it. The pool therefore offers
+/// only *deterministic* constructs:
+///
+///  * `parallel_for(n, grain, body)` splits [0, n) into fixed chunks of
+///    `grain` indices. The chunk grid depends only on (n, grain), never on
+///    the thread count; chunks may execute in any order on any thread, so
+///    the body must only write to disjoint, index-owned locations (the
+///    "independent writes" rule). Under that rule the result is bit-identical
+///    to the plain serial loop, for every thread count including 1.
+///  * `parallel_reduce(n, grain, init, map_chunk, combine)` maps each chunk
+///    of the same fixed grid to a partial value and combines the partials
+///    *serially in chunk order*. The float rounding therefore depends only
+///    on (n, grain), never on the thread count.
+///
+/// Callers that need bitwise compatibility with a pre-existing serial
+/// left-fold should instead store per-index values with `parallel_for` and
+/// fold them serially afterwards — that reproduces the serial rounding
+/// exactly (this is what the GMM E-step does with its log-likelihood).
+///
+/// Nested or concurrent `parallel_for` calls degrade to serial execution on
+/// the calling thread rather than deadlocking, so library code can use the
+/// pool unconditionally.
+class ThreadPool {
+ public:
+  /// `threads` is the total execution width *including* the calling thread:
+  /// `ThreadPool(1)` spawns no workers and runs everything inline (the exact
+  /// pre-parallel behavior).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution width (worker threads + the caller).
+  std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Run `body(begin, end)` over the fixed chunk grid of [0, n).
+  /// `grain == 0` selects a default grain targeting `kDefaultChunks` chunks
+  /// (still a pure function of `n`). Exceptions thrown by the body cancel
+  /// remaining chunks and are rethrown on the calling thread.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Deterministic reduction: `partials[c] = map_chunk(begin_c, end_c)` in
+  /// parallel, then `acc = combine(acc, partials[c])` serially for
+  /// c = 0, 1, 2, … — the combine order is fixed by the chunk grid alone.
+  template <typename T, typename MapFn, typename CombineFn>
+  T parallel_reduce(std::size_t n, std::size_t grain, T init, MapFn&& map_chunk,
+                    CombineFn&& combine) {
+    if (n == 0) return init;
+    const std::size_t g = effective_grain(n, grain);
+    const std::size_t chunks = (n + g - 1) / g;
+    std::vector<T> partials(chunks, init);
+    parallel_for(chunks, 1, [&](std::size_t c0, std::size_t c1) {
+      for (std::size_t c = c0; c < c1; ++c) {
+        partials[c] = map_chunk(c * g, std::min(n, (c + 1) * g));
+      }
+    });
+    T acc = std::move(init);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      acc = combine(std::move(acc), std::move(partials[c]));
+    }
+    return acc;
+  }
+
+  /// Chunk-grid target when `grain == 0`; chosen well above any realistic
+  /// core count so the default grid keeps every thread fed.
+  static constexpr std::size_t kDefaultChunks = 64;
+
+  /// The grain actually used for (n, grain) — thread-count independent.
+  static std::size_t effective_grain(std::size_t n, std::size_t grain) {
+    if (grain != 0) return grain;
+    return std::max<std::size_t>(1, (n + kDefaultChunks - 1) / kDefaultChunks);
+  }
+
+ private:
+  /// One parallel_for in flight: a shared atomic chunk cursor drained by the
+  /// caller plus however many workers wake up in time.
+  struct Job {
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    std::size_t chunks = 0;
+    std::atomic<std::size_t> next{0};
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t active = 0;       ///< Participants inside drain() (under m).
+    std::exception_ptr error;     ///< First body exception (under m).
+  };
+
+  void worker_loop();
+  void drain(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;                 ///< Guards job_/job_epoch_/stop_.
+  std::condition_variable cv_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t job_epoch_ = 0;
+  bool stop_ = false;
+  std::mutex submit_mu_;          ///< One parallel_for at a time.
+};
+
+/// Thread count from the environment: MHM_THREADS if set (clamped to
+/// [1, 256]), otherwise std::thread::hardware_concurrency().
+std::size_t configured_threads();
+
+/// Process-wide pool, built lazily from `configured_threads()` or the last
+/// `set_global_threads()` override. Everything in the library schedules
+/// through this pool.
+ThreadPool& global_pool();
+
+/// Execution width of the global pool.
+std::size_t global_threads();
+
+/// Override the global pool size (tests / benches sweep thread counts).
+/// `threads == 0` reverts to the MHM_THREADS / hardware default. Must not be
+/// called while parallel work is in flight; the pool is rebuilt lazily.
+void set_global_threads(std::size_t threads);
+
+/// Convenience wrappers over the global pool.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(std::size_t n, std::size_t grain, T init, MapFn&& map_chunk,
+                  CombineFn&& combine) {
+  return global_pool().parallel_reduce(n, grain, std::move(init),
+                                       std::forward<MapFn>(map_chunk),
+                                       std::forward<CombineFn>(combine));
+}
+
+}  // namespace mhm

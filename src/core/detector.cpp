@@ -85,10 +85,21 @@ double AnomalyDetector::score(const std::vector<double>& raw) const {
 
 Verdict AnomalyDetector::analyze(const std::vector<double>& raw,
                                  std::uint64_t interval_index) const {
+  // Steady-state allocation-free: the scratch buffers are thread_local and
+  // reach their final size on the first interval. One projection + one
+  // responsibilities pass yields density and nearest pattern together
+  // (the serial code evaluated the mixture twice).
+  thread_local std::vector<double> phi;
+  thread_local std::vector<double> reduced;
+  thread_local std::vector<double> gamma;
+  thread_local Gmm::Scratch scratch;
+
   const auto t0 = std::chrono::steady_clock::now();
-  const auto reduced = pca_.project(raw);
-  const double log10_density = gmm_.log10_density(reduced);
-  const std::size_t pattern = gmm_.classify(reduced);
+  pca_.project_into(raw, phi, reduced);
+  const double ln_density = gmm_.responsibilities_into(reduced, scratch, gamma);
+  const double log10_density = ln_density / std::log(10.0);
+  const std::size_t pattern = static_cast<std::size_t>(
+      std::max_element(gamma.begin(), gamma.end()) - gamma.begin());
   const auto t1 = std::chrono::steady_clock::now();
 
   Verdict v;
@@ -97,7 +108,10 @@ Verdict AnomalyDetector::analyze(const std::vector<double>& raw,
   v.anomalous = log10_density < primary_.log10_value;
   v.nearest_pattern = pattern;
   v.analysis_time = std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
-  timing_.add(static_cast<double>(v.analysis_time.count()));
+  {
+    std::lock_guard<std::mutex> lk(*timing_mu_);
+    timing_.add(static_cast<double>(v.analysis_time.count()));
+  }
   return v;
 }
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -83,7 +85,9 @@ class AnomalyDetector {
 
   /// Analyze one MHM: project, score, compare against the primary threshold.
   /// Timed — `Verdict::analysis_time` is the wall-clock cost of projection +
-  /// density evaluation (the §5.4 measurement).
+  /// density evaluation (the §5.4 measurement). Allocation-free in steady
+  /// state (thread_local scratch buffers) and safe to call concurrently
+  /// from several scenario runs sharing one detector.
   Verdict analyze(const HeatMap& map) const;
   Verdict analyze(const std::vector<double>& raw,
                   std::uint64_t interval_index = 0) const;
@@ -115,6 +119,11 @@ class AnomalyDetector {
   ThresholdCalibrator calibrator_;
   Threshold primary_;
   mutable RunningStats timing_;
+  /// Guards timing_ when scenario runs analyze() concurrently. shared_ptr
+  /// keeps the detector copyable (copies share the lock, which is fine for
+  /// a stats accumulator).
+  mutable std::shared_ptr<std::mutex> timing_mu_ =
+      std::make_shared<std::mutex>();
 };
 
 /// Baseline detector from Figure 9's discussion: watch only the total

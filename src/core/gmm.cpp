@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace mhm {
@@ -35,23 +36,31 @@ std::vector<std::vector<double>> kmeans_plus_plus_init(
   centers.push_back(
       data[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1))]);
 
-  std::vector<double> d2(data.size(), 0.0);
-  while (centers.size() < k) {
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      for (const auto& c : centers) {
-        best = std::min(best, linalg::squared_distance(data[i], c));
+  // Running min squared distance to the chosen centers, refreshed against
+  // only the newest center: O(k·n) distance evaluations instead of the
+  // naive O(k²·n) full rescan. min() over the same distance set, so d2 —
+  // and therefore the sampled centers — are unchanged.
+  std::vector<double> d2(data.size(),
+                         std::numeric_limits<double>::infinity());
+  const auto fold_in = [&](const std::vector<double>& center) {
+    parallel_for(data.size(), 0, [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        d2[i] = std::min(d2[i], linalg::squared_distance(data[i], center));
       }
-      d2[i] = best;
-    }
+    });
+  };
+  fold_in(centers.back());
+  while (centers.size() < k) {
     double total = 0.0;
     for (double d : d2) total += d;
     if (total <= 0.0) {
-      // All points coincide with existing centers; duplicate one.
+      // All points coincide with existing centers; duplicate one (the
+      // duplicate adds no new distance information, so d2 stays valid).
       centers.push_back(centers.back());
       continue;
     }
     centers.push_back(data[rng.discrete(d2)]);
+    fold_in(centers.back());
   }
   return centers;
 }
@@ -68,36 +77,49 @@ void Gmm::rebuild_cache() {
   }
 }
 
-double Gmm::log_density(const std::vector<double>& x) const {
-  MHM_ASSERT(x.size() == dim_, "Gmm::log_density: dimension mismatch");
-  std::vector<double> terms(components_.size());
+void Gmm::log_joint_terms(std::span<const double> x, Scratch& s) const {
+  s.terms.resize(components_.size());
+  s.diff.resize(dim_);
   for (std::size_t j = 0; j < components_.size(); ++j) {
     const auto& comp = components_[j];
-    const auto diff = linalg::subtract(x, comp.mean);
-    const double maha = cache_[j].chol.mahalanobis_squared(diff);
-    terms[j] = std::log(std::max(comp.weight, 1e-300)) + cache_[j].log_norm -
-               0.5 * maha;
+    for (std::size_t i = 0; i < dim_; ++i) s.diff[i] = x[i] - comp.mean[i];
+    const double maha = cache_[j].chol.mahalanobis_squared(s.diff, s.solve);
+    s.terms[j] = std::log(std::max(comp.weight, 1e-300)) + cache_[j].log_norm -
+                 0.5 * maha;
   }
-  return log_sum_exp(terms);
+}
+
+double Gmm::log_density(std::span<const double> x, Scratch& scratch) const {
+  MHM_ASSERT(x.size() == dim_, "Gmm::log_density: dimension mismatch");
+  log_joint_terms(x, scratch);
+  return log_sum_exp(scratch.terms);
+}
+
+double Gmm::log_density(const std::vector<double>& x) const {
+  thread_local Scratch scratch;
+  return log_density(x, scratch);
 }
 
 double Gmm::log10_density(const std::vector<double>& x) const {
   return log_density(x) / std::log(10.0);
 }
 
-std::vector<double> Gmm::responsibilities(const std::vector<double>& x) const {
-  std::vector<double> terms(components_.size());
-  for (std::size_t j = 0; j < components_.size(); ++j) {
-    const auto& comp = components_[j];
-    const auto diff = linalg::subtract(x, comp.mean);
-    terms[j] = std::log(std::max(comp.weight, 1e-300)) + cache_[j].log_norm -
-               0.5 * cache_[j].chol.mahalanobis_squared(diff);
-  }
-  const double lse = log_sum_exp(terms);
-  std::vector<double> gamma(components_.size());
+double Gmm::responsibilities_into(std::span<const double> x, Scratch& scratch,
+                                  std::vector<double>& gamma) const {
+  MHM_ASSERT(x.size() == dim_, "Gmm::responsibilities: dimension mismatch");
+  log_joint_terms(x, scratch);
+  const double lse = log_sum_exp(scratch.terms);
+  gamma.resize(components_.size());
   for (std::size_t j = 0; j < gamma.size(); ++j) {
-    gamma[j] = std::exp(terms[j] - lse);
+    gamma[j] = std::exp(scratch.terms[j] - lse);
   }
+  return lse;
+}
+
+std::vector<double> Gmm::responsibilities(const std::vector<double>& x) const {
+  thread_local Scratch scratch;
+  std::vector<double> gamma;
+  responsibilities_into(x, scratch, gamma);
   return gamma;
 }
 
@@ -122,8 +144,17 @@ std::vector<double> Gmm::sample(Rng& rng) const {
 
 double Gmm::total_log_likelihood(
     const std::vector<std::vector<double>>& data) const {
+  // Score samples in parallel (index-owned writes), then fold serially in
+  // sample order — bit-identical to the serial accumulation.
+  std::vector<double> per_sample(data.size());
+  parallel_for(data.size(), 0, [&](std::size_t i0, std::size_t i1) {
+    Scratch scratch;
+    for (std::size_t i = i0; i < i1; ++i) {
+      per_sample[i] = log_density(data[i], scratch);
+    }
+  });
   double total = 0.0;
-  for (const auto& x : data) total += log_density(x);
+  for (double v : per_sample) total += v;
   return total;
 }
 
@@ -223,57 +254,71 @@ Gmm Gmm::fit(const std::vector<std::vector<double>>& data,
     double prev_ll = -std::numeric_limits<double>::infinity();
     bool failed = false;
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-      // E-step: responsibilities and log-likelihood in one pass.
+      // E-step: responsibilities and log-likelihood in one pass. Samples
+      // only write their own gamma row and ll slot; the log-likelihood is
+      // then folded serially in sample order, so the rounding matches the
+      // serial loop bit-for-bit at any thread count.
       std::vector<std::vector<double>> gamma(n);
+      std::vector<double> sample_ll(n);
+      parallel_for(n, 0, [&](std::size_t i0, std::size_t i1) {
+        Scratch scratch;
+        for (std::size_t i = i0; i < i1; ++i) {
+          sample_ll[i] =
+              model.responsibilities_into(data[i], scratch, gamma[i]);
+        }
+      });
       double ll = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        std::vector<double> terms(j_count);
-        for (std::size_t j = 0; j < j_count; ++j) {
-          const auto& comp = model.components_[j];
-          const auto diff = linalg::subtract(data[i], comp.mean);
-          terms[j] = std::log(std::max(comp.weight, 1e-300)) +
-                     model.cache_[j].log_norm -
-                     0.5 * model.cache_[j].chol.mahalanobis_squared(diff);
-        }
-        const double lse = log_sum_exp(terms);
-        ll += lse;
-        gamma[i].resize(j_count);
-        for (std::size_t j = 0; j < j_count; ++j) {
-          gamma[i][j] = std::exp(terms[j] - lse);
-        }
-      }
+      for (double v : sample_ll) ll += v;
 
-      // M-step.
+      // M-step. Effective counts first; then the dead-component re-seeds are
+      // drawn serially in component order (the RNG stream must not depend on
+      // the execution order); the remaining per-component updates are
+      // independent and run in parallel.
+      std::vector<double> nj(j_count, 0.0);
+      parallel_for(j_count, 1, [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t j = b0; j < b1; ++j) {
+          double s = 0.0;
+          for (std::size_t i = 0; i < n; ++i) s += gamma[i][j];
+          nj[j] = s;
+        }
+      });
+      std::vector<std::ptrdiff_t> reseed(j_count, -1);
       for (std::size_t j = 0; j < j_count; ++j) {
-        double nj = 0.0;
-        for (std::size_t i = 0; i < n; ++i) nj += gamma[i][j];
-        auto& comp = model.components_[j];
-        if (nj < 1e-8) {
-          // Dead component: re-seed it at a random sample.
-          comp.mean = data[static_cast<std::size_t>(rng.uniform_int(
-              0, static_cast<std::int64_t>(n) - 1))];
-          comp.covariance = init_cov;
-          comp.weight = 1.0 / static_cast<double>(n);
-          continue;
+        if (nj[j] < 1e-8) {
+          reseed[j] = static_cast<std::ptrdiff_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(n) - 1));
         }
-        comp.weight = nj / static_cast<double>(n);
-        // Mean.
-        std::vector<double> mu(d, 0.0);
-        for (std::size_t i = 0; i < n; ++i) {
-          linalg::axpy(gamma[i][j], data[i], mu);
-        }
-        linalg::scale(mu, 1.0 / nj);
-        comp.mean = mu;
-        // Covariance (with diagonal floor).
-        Matrix cov(d, d, 0.0);
-        for (std::size_t i = 0; i < n; ++i) {
-          const auto diff = linalg::subtract(data[i], mu);
-          linalg::syr_update(cov, gamma[i][j], diff);
-        }
-        for (double& v : cov.data()) v /= nj;
-        for (std::size_t k = 0; k < d; ++k) cov(k, k) += floor;
-        comp.covariance = std::move(cov);
       }
+      parallel_for(j_count, 1, [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t j = b0; j < b1; ++j) {
+          auto& comp = model.components_[j];
+          if (reseed[j] >= 0) {
+            // Dead component: re-seed it at the pre-drawn random sample.
+            comp.mean = data[static_cast<std::size_t>(reseed[j])];
+            comp.covariance = init_cov;
+            comp.weight = 1.0 / static_cast<double>(n);
+            continue;
+          }
+          comp.weight = nj[j] / static_cast<double>(n);
+          // Mean.
+          std::vector<double> mu(d, 0.0);
+          for (std::size_t i = 0; i < n; ++i) {
+            linalg::axpy(gamma[i][j], data[i], mu);
+          }
+          linalg::scale(mu, 1.0 / nj[j]);
+          comp.mean = mu;
+          // Covariance (with diagonal floor).
+          Matrix cov(d, d, 0.0);
+          std::vector<double> diff(d);
+          for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t c = 0; c < d; ++c) diff[c] = data[i][c] - mu[c];
+            linalg::syr_update(cov, gamma[i][j], diff);
+          }
+          for (double& v : cov.data()) v /= nj[j];
+          for (std::size_t k = 0; k < d; ++k) cov(k, k) += floor;
+          comp.covariance = std::move(cov);
+        }
+      });
       // Renormalize weights (re-seeded components can distort the sum).
       double wsum = 0.0;
       for (const auto& comp : model.components_) wsum += comp.weight;

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -58,14 +59,32 @@ class Gmm {
                                const Options& options,
                                std::size_t* chosen = nullptr);
 
+  /// Reusable workspace for the allocation-free scoring calls. The online
+  /// path (`AnomalyDetector::analyze`, every 10 ms interval) keeps one of
+  /// these per thread; after the first call the buffers never reallocate.
+  struct Scratch {
+    std::vector<double> terms;  ///< Per-component log joint density.
+    std::vector<double> diff;   ///< x − μ_j.
+    std::vector<double> solve;  ///< Cholesky forward-solve output.
+  };
+
   /// Natural-log density log Pr(M; Θ) of one reduced MHM (Eq. 2).
   double log_density(const std::vector<double>& x) const;
+
+  /// Allocation-free variant reusing `scratch`.
+  double log_density(std::span<const double> x, Scratch& scratch) const;
 
   /// log10 of the density — the quantity plotted in Figures 7, 8 and 10.
   double log10_density(const std::vector<double>& x) const;
 
   /// Per-component posterior responsibilities γ_j(x) (sums to 1).
   std::vector<double> responsibilities(const std::vector<double>& x) const;
+
+  /// Allocation-free responsibilities: fills `gamma` (resized to the
+  /// component count) and returns the natural-log density — the E-step and
+  /// the online verdict need both from the same pass.
+  double responsibilities_into(std::span<const double> x, Scratch& scratch,
+                               std::vector<double>& gamma) const;
 
   /// Index of the most responsible component.
   std::size_t classify(const std::vector<double>& x) const;
@@ -100,6 +119,9 @@ class Gmm {
   };
 
   void rebuild_cache();
+
+  /// Fill scratch.terms with log(λ_j) + log N(x; μ_j, Σ_j) for every j.
+  void log_joint_terms(std::span<const double> x, Scratch& scratch) const;
 
   std::size_t dim_ = 0;
   std::vector<GmmComponent> components_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace mhm {
@@ -23,50 +24,73 @@ std::vector<double> compute_mean(const std::vector<std::vector<double>>& xs) {
   return mean;
 }
 
+/// Mean-shifted copies Φ_n = x_n − Ψ of the whole training set.
+std::vector<std::vector<double>> mean_shifted(
+    const std::vector<std::vector<double>>& xs,
+    const std::vector<double>& mean) {
+  const std::size_t l = mean.size();
+  std::vector<std::vector<double>> phis(xs.size());
+  parallel_for(xs.size(), 0, [&](std::size_t a0, std::size_t a1) {
+    for (std::size_t a = a0; a < a1; ++a) {
+      phis[a].resize(l);
+      for (std::size_t i = 0; i < l; ++i) phis[a][i] = xs[a][i] - mean[i];
+    }
+  });
+  return phis;
+}
+
 /// Upper-triangle accumulation of C = (1/N) Σ Φ Φ^T, mirrored at the end.
+/// Parallel over row blocks: each row's partial sums accumulate over the
+/// samples in index order, so every element sees the exact addition sequence
+/// of the serial sample-major loop — the result is bit-identical for any
+/// thread count.
 Matrix covariance_direct(const std::vector<std::vector<double>>& xs,
                          const std::vector<double>& mean) {
   const std::size_t l = mean.size();
+  const auto phis = mean_shifted(xs, mean);
   Matrix c(l, l, 0.0);
-  std::vector<double> phi(l);
-  for (const auto& x : xs) {
-    for (std::size_t i = 0; i < l; ++i) phi[i] = x[i] - mean[i];
-    for (std::size_t i = 0; i < l; ++i) {
-      const double pi = phi[i];
-      if (pi == 0.0) continue;
-      auto row = c.row(i);
-      for (std::size_t j = i; j < l; ++j) row[j] += pi * phi[j];
+  parallel_for(l, 0, [&](std::size_t i0, std::size_t i1) {
+    for (const auto& phi : phis) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double pi = phi[i];
+        if (pi == 0.0) continue;
+        auto row = c.row(i);
+        for (std::size_t j = i; j < l; ++j) row[j] += pi * phi[j];
+      }
     }
-  }
+  });
   const double inv_n = 1.0 / static_cast<double>(xs.size());
-  for (std::size_t i = 0; i < l; ++i) {
-    c(i, i) *= inv_n;
-    for (std::size_t j = i + 1; j < l; ++j) {
-      c(i, j) *= inv_n;
-      c(j, i) = c(i, j);
+  parallel_for(l, 0, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      c(i, i) *= inv_n;
+      for (std::size_t j = i + 1; j < l; ++j) {
+        c(i, j) *= inv_n;
+        c(j, i) = c(i, j);
+      }
     }
-  }
+  });
   return c;
 }
 
-/// Gram matrix G = (1/N) A^T A with A = [Φ_1 … Φ_N] (N x N).
+/// Gram matrix G = (1/N) A^T A with A = [Φ_1 … Φ_N] (N x N). Each (a, b)
+/// entry is one independent dot product; row blocks are parallel and the
+/// mirror write targets a distinct element, so no two threads touch the
+/// same location.
 Matrix gram_matrix(const std::vector<std::vector<double>>& xs,
                    const std::vector<double>& mean) {
   const std::size_t n = xs.size();
-  const std::size_t l = mean.size();
-  std::vector<std::vector<double>> phis(n, std::vector<double>(l));
-  for (std::size_t a = 0; a < n; ++a) {
-    for (std::size_t i = 0; i < l; ++i) phis[a][i] = xs[a][i] - mean[i];
-  }
+  const auto phis = mean_shifted(xs, mean);
   Matrix g(n, n, 0.0);
   const double inv_n = 1.0 / static_cast<double>(n);
-  for (std::size_t a = 0; a < n; ++a) {
-    for (std::size_t b = a; b < n; ++b) {
-      const double v = linalg::dot(phis[a], phis[b]) * inv_n;
-      g(a, b) = v;
-      g(b, a) = v;
+  parallel_for(n, 0, [&](std::size_t a0, std::size_t a1) {
+    for (std::size_t a = a0; a < a1; ++a) {
+      for (std::size_t b = a; b < n; ++b) {
+        const double v = linalg::dot(phis[a], phis[b]) * inv_n;
+        g(a, b) = v;
+        g(b, a) = v;
+      }
     }
-  }
+  });
   return g;
 }
 
@@ -129,17 +153,20 @@ Eigenmemory Eigenmemory::fit(const std::vector<std::vector<double>>& training,
 
   if (use_gram) {
     // Map Gram eigenvectors v back to input space: u = A v (then normalize).
-    for (std::size_t k = 0; k < keep; ++k) {
-      auto urow = em.basis_.row(k);
-      for (std::size_t a = 0; a < n; ++a) {
-        const double vak = eig.eigenvectors(a, k);
-        if (vak == 0.0) continue;
-        for (std::size_t i = 0; i < l; ++i) {
-          urow[i] += vak * (training[a][i] - em.mean_[i]);
+    // Basis rows are independent of each other — parallel over k.
+    parallel_for(keep, 1, [&](std::size_t k0, std::size_t k1) {
+      for (std::size_t k = k0; k < k1; ++k) {
+        auto urow = em.basis_.row(k);
+        for (std::size_t a = 0; a < n; ++a) {
+          const double vak = eig.eigenvectors(a, k);
+          if (vak == 0.0) continue;
+          for (std::size_t i = 0; i < l; ++i) {
+            urow[i] += vak * (training[a][i] - em.mean_[i]);
+          }
         }
+        linalg::normalize(urow);
       }
-      linalg::normalize(urow);
-    }
+    });
   } else {
     for (std::size_t k = 0; k < keep; ++k) {
       auto urow = em.basis_.row(k);
@@ -157,14 +184,24 @@ Eigenmemory Eigenmemory::fit(const HeatMapTrace& maps,
   return fit(raw, options);
 }
 
-std::vector<double> Eigenmemory::project(const std::vector<double>& map) const {
+void Eigenmemory::project_into(std::span<const double> map,
+                               std::vector<double>& phi_scratch,
+                               std::vector<double>& weights) const {
   MHM_ASSERT(map.size() == mean_.size(), "Eigenmemory::project: bad length");
-  std::vector<double> phi(map.size());
-  for (std::size_t i = 0; i < map.size(); ++i) phi[i] = map[i] - mean_[i];
-  std::vector<double> w(components());
-  for (std::size_t k = 0; k < components(); ++k) {
-    w[k] = linalg::dot(basis_.row(k), phi);
+  phi_scratch.resize(map.size());
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    phi_scratch[i] = map[i] - mean_[i];
   }
+  weights.resize(components());
+  for (std::size_t k = 0; k < components(); ++k) {
+    weights[k] = linalg::dot(basis_.row(k), phi_scratch);
+  }
+}
+
+std::vector<double> Eigenmemory::project(const std::vector<double>& map) const {
+  std::vector<double> phi;
+  std::vector<double> w;
+  project_into(map, phi, w);
   return w;
 }
 
@@ -174,9 +211,13 @@ std::vector<double> Eigenmemory::project(const HeatMap& map) const {
 
 std::vector<std::vector<double>> Eigenmemory::project_all(
     const std::vector<std::vector<double>>& maps) const {
-  std::vector<std::vector<double>> out;
-  out.reserve(maps.size());
-  for (const auto& m : maps) out.push_back(project(m));
+  std::vector<std::vector<double>> out(maps.size());
+  parallel_for(maps.size(), 0, [&](std::size_t i0, std::size_t i1) {
+    std::vector<double> phi;
+    for (std::size_t i = i0; i < i1; ++i) {
+      project_into(maps[i], phi, out[i]);
+    }
+  });
   return out;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/heatmap.hpp"
@@ -49,6 +50,13 @@ class Eigenmemory {
   /// Project one raw MHM into the reduced space (length L' weights).
   std::vector<double> project(const std::vector<double>& map) const;
   std::vector<double> project(const HeatMap& map) const;
+
+  /// Allocation-free projection for the online scoring path: reuses
+  /// `phi_scratch` for the mean-shifted map and writes the weights into
+  /// `weights` (both resized on first use, then stable).
+  void project_into(std::span<const double> map,
+                    std::vector<double>& phi_scratch,
+                    std::vector<double>& weights) const;
 
   /// Project a batch.
   std::vector<std::vector<double>> project_all(

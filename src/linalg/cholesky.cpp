@@ -29,14 +29,19 @@ Cholesky::Cholesky(const Matrix& a, double jitter) {
   }
 }
 
-Vector Cholesky::forward_solve(std::span<const double> b) const {
+void Cholesky::forward_solve_into(std::span<const double> b, Vector& y) const {
   MHM_ASSERT(b.size() == dim(), "forward_solve: dimension mismatch");
-  Vector y(dim());
+  y.resize(dim());
   for (std::size_t i = 0; i < dim(); ++i) {
     double sum = b[i];
     for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
     y[i] = sum / l_(i, i);
   }
+}
+
+Vector Cholesky::forward_solve(std::span<const double> b) const {
+  Vector y;
+  forward_solve_into(b, y);
   return y;
 }
 
@@ -61,6 +66,12 @@ double Cholesky::log_det() const {
 double Cholesky::mahalanobis_squared(std::span<const double> x) const {
   const Vector y = forward_solve(x);
   return dot(y, y);
+}
+
+double Cholesky::mahalanobis_squared(std::span<const double> x,
+                                     Vector& scratch) const {
+  forward_solve_into(x, scratch);
+  return dot(scratch, scratch);
 }
 
 Vector Cholesky::transform_standard_normal(std::span<const double> z) const {

@@ -28,11 +28,18 @@ class Cholesky {
   /// density needs.
   Vector forward_solve(std::span<const double> b) const;
 
+  /// As forward_solve, but writes into `y` (resized to dim()) instead of
+  /// allocating — the online scoring path calls this every interval.
+  void forward_solve_into(std::span<const double> b, Vector& y) const;
+
   /// log(det(A)) = 2 * sum_i log(L_ii).
   double log_det() const;
 
   /// Squared Mahalanobis distance x^T A^{-1} x.
   double mahalanobis_squared(std::span<const double> x) const;
+
+  /// Allocation-free variant: `scratch` holds the forward-solve result.
+  double mahalanobis_squared(std::span<const double> x, Vector& scratch) const;
 
   /// y = L * z maps iid standard normals z to samples with covariance A
   /// (used by tests and the synthetic GMM sampler).

@@ -3,22 +3,37 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace mhm::pipeline {
 
 HeatMapTrace collect_normal_trace(const sim::SystemConfig& config,
                                   const ProfilingPlan& plan) {
+  // Each profiling run is an independent seeded system; simulate them
+  // concurrently (grain 1 = one run per chunk) and concatenate in seed
+  // order, which reproduces the serial trace exactly.
+  std::vector<HeatMapTrace> per_run(plan.runs);
+  parallel_for(plan.runs, 1, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t run = r0; run < r1; ++run) {
+      sim::SystemConfig cfg = config;
+      cfg.seed = plan.seed_base + run;
+      sim::System system(cfg);
+      system.run_for(plan.run_duration);
+      HeatMapTrace trace = system.take_trace();
+      const std::size_t skip = std::min(plan.warmup_intervals, trace.size());
+      per_run[run].assign(
+          std::make_move_iterator(trace.begin() +
+                                  static_cast<std::ptrdiff_t>(skip)),
+          std::make_move_iterator(trace.end()));
+    }
+  });
+  std::size_t total = 0;
+  for (const auto& t : per_run) total += t.size();
   HeatMapTrace all;
-  for (std::size_t run = 0; run < plan.runs; ++run) {
-    sim::SystemConfig cfg = config;
-    cfg.seed = plan.seed_base + run;
-    sim::System system(cfg);
-    system.run_for(plan.run_duration);
-    HeatMapTrace trace = system.take_trace();
-    const std::size_t skip = std::min(plan.warmup_intervals, trace.size());
-    all.insert(all.end(),
-               std::make_move_iterator(trace.begin() + static_cast<std::ptrdiff_t>(skip)),
-               std::make_move_iterator(trace.end()));
+  all.reserve(total);
+  for (auto& t : per_run) {
+    all.insert(all.end(), std::make_move_iterator(t.begin()),
+               std::make_move_iterator(t.end()));
   }
   return all;
 }
@@ -100,6 +115,27 @@ ScenarioRun run_scenario(const sim::SystemConfig& config,
   system.run_for(duration);
   result.maps = system.take_trace();
   return result;
+}
+
+std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
+                                       const std::vector<ScenarioSpec>& specs,
+                                       const AnomalyDetector* detector) {
+  // Scenario fan-out: every spec simulates its own seeded system, so runs
+  // are independent and the batch result equals calling run_scenario() in a
+  // loop. The shared detector is safe to score from several threads.
+  std::vector<ScenarioRun> results(specs.size());
+  parallel_for(specs.size(), 1, [&](std::size_t s0, std::size_t s1) {
+    for (std::size_t s = s0; s < s1; ++s) {
+      const ScenarioSpec& spec = specs[s];
+      std::unique_ptr<attacks::AttackScenario> attack;
+      if (!spec.attack.empty() && spec.attack != "normal") {
+        attack = attacks::make_scenario(spec.attack);
+      }
+      results[s] = run_scenario(config, attack.get(), spec.trigger_time,
+                                spec.duration, detector, spec.seed);
+    }
+  });
+  return results;
 }
 
 TrainedPipeline train_pipeline(const sim::SystemConfig& config,

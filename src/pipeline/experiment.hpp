@@ -57,6 +57,23 @@ ScenarioRun run_scenario(const sim::SystemConfig& config,
                          const AnomalyDetector* detector,
                          std::uint64_t seed);
 
+/// One entry of a scenario fan-out batch.
+struct ScenarioSpec {
+  /// Name for attacks::make_scenario(); "" or "normal" runs unattacked.
+  std::string attack;
+  SimTime trigger_time = 0;
+  SimTime duration = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Run a batch of scenarios concurrently — one independent seeded
+/// sim::System each — returning results in spec order. Equivalent to (and
+/// bit-identical with) calling run_scenario() in a loop; the shared
+/// `detector` may be scored from several threads at once.
+std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
+                                       const std::vector<ScenarioSpec>& specs,
+                                       const AnomalyDetector* detector);
+
 /// Everything needed to reproduce the paper's evaluation: a trained
 /// detector plus the thresholds and the traces that produced it.
 struct TrainedPipeline {
