@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 namespace mhm {
 
 namespace {
@@ -10,6 +12,23 @@ namespace {
 /// Set while a thread executes pool work; a nested parallel_for from inside
 /// a body must run inline or it would wait on chunks only itself can drain.
 thread_local bool tl_in_pool_work = false;
+
+struct PoolMetrics {
+  obs::Counter& jobs = obs::Registry::instance().counter(
+      "parallel.jobs", "parallel_for invocations dispatched to the pool");
+  obs::Counter& serial_jobs = obs::Registry::instance().counter(
+      "parallel.serial_jobs",
+      "parallel_for invocations degraded to inline serial execution");
+  obs::Counter& chunks = obs::Registry::instance().counter(
+      "parallel.chunks", "work chunks executed across all parallel_for calls");
+  obs::Gauge& threads = obs::Registry::instance().gauge(
+      "parallel.threads", "execution width of the global thread pool");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -43,7 +62,9 @@ void ThreadPool::parallel_for(
     }
   };
 
+  pool_metrics().chunks.add(chunks);
   if (workers_.empty() || chunks == 1 || tl_in_pool_work) {
+    pool_metrics().serial_jobs.add();
     run_serial();
     return;
   }
@@ -51,9 +72,11 @@ void ThreadPool::parallel_for(
   // thread outside the pool) simply runs serially instead of queueing.
   std::unique_lock<std::mutex> submit(submit_mu_, std::try_to_lock);
   if (!submit.owns_lock()) {
+    pool_metrics().serial_jobs.add();
     run_serial();
     return;
   }
+  pool_metrics().jobs.add();
 
   auto job = std::make_shared<Job>();
   job->n = n;
@@ -145,6 +168,7 @@ ThreadPool& global_pool() {
     const std::size_t t =
         g_threads_override != 0 ? g_threads_override : configured_threads();
     g_pool = std::make_unique<ThreadPool>(t);
+    pool_metrics().threads.set(static_cast<double>(g_pool->threads()));
   }
   return *g_pool;
 }

@@ -1,6 +1,26 @@
 #include "core/alarm_filter.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace mhm {
+
+namespace {
+
+struct FilterMetrics {
+  obs::Counter& raised = obs::Registry::instance().counter(
+      "core.alarm_filter.raised",
+      "filtered alarm output transitions from clear to raised");
+  obs::Counter& cleared = obs::Registry::instance().counter(
+      "core.alarm_filter.cleared",
+      "filtered alarm output transitions from raised to clear");
+};
+
+FilterMetrics& filter_metrics() {
+  static FilterMetrics m;
+  return m;
+}
+
+}  // namespace
 
 AlarmFilter::AlarmFilter(std::size_t k, std::size_t n) : k_(k), n_(n) {
   if (k == 0 || n == 0 || k > n) {
@@ -15,12 +35,18 @@ bool AlarmFilter::feed(bool interval_anomalous) {
     count_ -= history_.front();
     history_.pop_front();
   }
-  return count_ >= k_;
+  const bool out = count_ >= k_;
+  if (out != last_output_) {
+    (out ? filter_metrics().raised : filter_metrics().cleared).add();
+  }
+  last_output_ = out;
+  return out;
 }
 
 void AlarmFilter::reset() {
   history_.clear();
   count_ = 0;
+  last_output_ = false;
 }
 
 }  // namespace mhm

@@ -32,12 +32,15 @@ class AlarmFilter {
   std::size_t required() const { return k_; }
   /// Anomalous verdicts currently inside the window.
   std::size_t current_count() const { return count_; }
+  /// Filtered decision of the most recent feed() (false after reset()).
+  bool last_output() const { return last_output_; }
 
  private:
   std::size_t k_;
   std::size_t n_;
   std::deque<bool> history_;
   std::size_t count_ = 0;
+  bool last_output_ = false;
 };
 
 }  // namespace mhm

@@ -6,8 +6,29 @@
 
 #include "common/error.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 
 namespace mhm {
+
+namespace {
+
+struct DetectorMetrics {
+  obs::Counter& intervals = obs::Registry::instance().counter(
+      "detector.intervals_analyzed", "MHM intervals scored by analyze()");
+  obs::Counter& alarms = obs::Registry::instance().counter(
+      "detector.alarms", "intervals below the primary threshold");
+  obs::Histogram& analysis_ns = obs::Registry::instance().histogram(
+      "detector.analysis_ns",
+      {1e3, 1e4, 1e5, 1e6, 1e7, 1e8},
+      "wall-clock nanoseconds of projection + density per interval");
+};
+
+DetectorMetrics& detector_metrics() {
+  static DetectorMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ThresholdCalibrator::ThresholdCalibrator(std::vector<double> validation_log10)
     : scores_(std::move(validation_log10)) {
@@ -62,9 +83,37 @@ AnomalyDetector AnomalyDetector::train(
   for (const auto& v : validation) {
     validation_scores.push_back(gmm.log10_density(pca.project(v)));
   }
-  return AnomalyDetector(std::move(pca), std::move(gmm),
-                         ThresholdCalibrator(std::move(validation_scores)),
-                         options.primary_p);
+  AnomalyDetector det(std::move(pca), std::move(gmm),
+                      ThresholdCalibrator(std::move(validation_scores)),
+                      options.primary_p);
+
+  // Per-cell baseline of the raw training maps: alarms are explained in the
+  // journal by the cells deviating most (in z) from this baseline.
+  const std::size_t l = training.front().size();
+  auto baseline = std::make_shared<CellBaseline>();
+  baseline->mean.assign(l, 0.0);
+  baseline->stddev.assign(l, 0.0);
+  for (const auto& x : training) {
+    for (std::size_t i = 0; i < l; ++i) baseline->mean[i] += x[i];
+  }
+  const double inv_n = 1.0 / static_cast<double>(training.size());
+  for (double& m : baseline->mean) m *= inv_n;
+  for (const auto& x : training) {
+    for (std::size_t i = 0; i < l; ++i) {
+      const double d = x[i] - baseline->mean[i];
+      baseline->stddev[i] += d * d;
+    }
+  }
+  for (double& s : baseline->stddev) s = std::sqrt(s * inv_n);
+  det.baseline_ = std::move(baseline);
+
+  if (options.journal_capacity != 0) {
+    det.journal_ =
+        std::make_shared<obs::DecisionJournal>(options.journal_capacity);
+  }
+  det.journal_phases_ = std::max<std::size_t>(1, options.journal_phases);
+  det.journal_top_cells_ = options.journal_top_cells;
+  return det;
 }
 
 AnomalyDetector AnomalyDetector::train(const HeatMapTrace& training,
@@ -111,6 +160,58 @@ Verdict AnomalyDetector::analyze(const std::vector<double>& raw,
   {
     std::lock_guard<std::mutex> lk(*timing_mu_);
     timing_.add(static_cast<double>(v.analysis_time.count()));
+  }
+
+  if (obs::enabled()) {
+    DetectorMetrics& m = detector_metrics();
+    m.intervals.add();
+    if (v.anomalous) m.alarms.add();
+    m.analysis_ns.observe(static_cast<double>(v.analysis_time.count()));
+
+    // The record is thread_local and handed to the journal by swap, so its
+    // vectors trade buffers with the evicted ring slot instead of
+    // allocating — the append path is allocation-free in steady state.
+    thread_local obs::DecisionRecord rec;
+    rec.interval_index = interval_index;
+    rec.phase = interval_index % journal_phases_;
+    rec.reduced_coords = reduced;
+    rec.log10_density = log10_density;
+    rec.threshold = primary_.log10_value;
+    rec.alarm = v.anomalous;
+    rec.nearest_pattern = pattern;
+    rec.top_cells.clear();
+    if (v.anomalous && baseline_ && journal_top_cells_ > 0 &&
+        baseline_->mean.size() == raw.size()) {
+      // Rank cells by |z| against the training baseline — O(L), alarms only.
+      std::vector<std::size_t> order(raw.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      // Cells hold integer fetch counts, so one count is the natural floor
+      // for the spread: a never-touched training cell that lights up scores
+      // z = observed instead of blowing up on a zero stddev.
+      const auto z_of = [&](std::size_t i) {
+        return (raw[i] - baseline_->mean[i]) /
+               std::max(baseline_->stddev[i], 1.0);
+      };
+      const std::size_t keep = std::min(journal_top_cells_, order.size());
+      std::partial_sort(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(keep),
+                        order.end(), [&](std::size_t a, std::size_t b) {
+                          const double za = std::abs(z_of(a));
+                          const double zb = std::abs(z_of(b));
+                          if (za != zb) return za > zb;
+                          return a < b;
+                        });
+      rec.top_cells.reserve(keep);
+      for (std::size_t r = 0; r < keep; ++r) {
+        const std::size_t i = order[r];
+        rec.top_cells.push_back(obs::CellContribution{
+            .cell = i,
+            .observed = raw[i],
+            .expected = baseline_->mean[i],
+            .z_score = z_of(i)});
+      }
+    }
+    journal_->append_swap(rec);
   }
   return v;
 }

@@ -12,6 +12,7 @@
 #include "core/gmm.hpp"
 #include "core/heatmap.hpp"
 #include "core/pca.hpp"
+#include "obs/journal.hpp"
 
 namespace mhm {
 
@@ -60,6 +61,14 @@ class AnomalyDetector {
     Eigenmemory::Options pca;  ///< Defaults: retain 99.99 % variance.
     Gmm::Options gmm;          ///< Defaults: J = 5, 10 restarts.
     double primary_p = 0.01;   ///< Threshold quantile for verdicts (θ_1).
+    /// Decision-journal ring capacity (0 keeps the journal default).
+    std::size_t journal_capacity = 0;
+    /// Modulus for the journal's hyperperiod-phase label (matches
+    /// PhaseAwareDetector::Options::phases).
+    std::size_t journal_phases = 10;
+    /// Cells ranked by |z| against the training baseline in each alarm's
+    /// journal record (0 disables the per-alarm explanation).
+    std::size_t journal_top_cells = 8;
   };
 
   /// Train from normal-behaviour maps and calibrate thresholds on a second,
@@ -101,8 +110,20 @@ class AnomalyDetector {
   Threshold primary_threshold() const { return primary_; }
 
   /// Aggregate analysis-time statistics over all analyze() calls.
+  /// Deprecated: the obs registry's `detector.analysis_ns` histogram carries
+  /// the same information process-wide; prefer it for new code. Returns a
+  /// reference into mutable shared state — take a copy under low concurrency
+  /// rather than holding the reference across analyze() calls.
   const RunningStats& analysis_time_stats() const { return timing_; }
-  void reset_timing() { timing_ = RunningStats(); }
+  void reset_timing() {
+    std::lock_guard<std::mutex> lk(*timing_mu_);
+    timing_ = RunningStats();
+  }
+
+  /// Per-interval decision journal (shared between copies of the detector,
+  /// like the timing lock). Always present; empty while observability is
+  /// disabled.
+  obs::DecisionJournal& journal() const { return *journal_; }
 
   /// Reassemble from previously trained parts (deserialization): dimension
   /// compatibility between the PCA output and the GMM is validated.
@@ -114,10 +135,23 @@ class AnomalyDetector {
   AnomalyDetector(Eigenmemory pca, Gmm gmm, ThresholdCalibrator calibrator,
                   double primary_p);
 
+  /// Per-cell first/second moments of the raw training maps, used to rank
+  /// the cells that drive an alarm. Absent on assemble()d detectors (the
+  /// raw training set is gone after serialization).
+  struct CellBaseline {
+    std::vector<double> mean;
+    std::vector<double> stddev;
+  };
+
   Eigenmemory pca_;
   Gmm gmm_;
   ThresholdCalibrator calibrator_;
   Threshold primary_;
+  std::shared_ptr<const CellBaseline> baseline_;
+  std::shared_ptr<obs::DecisionJournal> journal_ =
+      std::make_shared<obs::DecisionJournal>();
+  std::size_t journal_phases_ = 10;
+  std::size_t journal_top_cells_ = 8;
   mutable RunningStats timing_;
   /// Guards timing_ when scenario runs analyze() concurrently. shared_ptr
   /// keeps the detector copyable (copies share the lock, which is fine for

@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mhm {
 
@@ -199,6 +201,7 @@ Gmm Gmm::from_components(std::vector<GmmComponent> components) {
 
 Gmm Gmm::fit(const std::vector<std::vector<double>>& data,
              const Options& options) {
+  OBS_SPAN("gmm.fit");
   if (data.empty()) throw ConfigError("Gmm::fit: empty training set");
   const std::size_t n = data.size();
   const std::size_t d = data.front().size();
@@ -230,8 +233,15 @@ Gmm Gmm::fit(const std::vector<std::vector<double>>& data,
   Gmm best;
   double best_ll = -std::numeric_limits<double>::infinity();
 
+  obs::Counter& em_iterations = obs::Registry::instance().counter(
+      "core.gmm.em_iterations", "EM iterations run across fits and restarts");
+  obs::Gauge& ll_gauge = obs::Registry::instance().gauge(
+      "core.gmm.log_likelihood",
+      "training log-likelihood after the most recent EM iteration");
+
   for (std::size_t restart = 0; restart < std::max<std::size_t>(1, options.restarts);
        ++restart) {
+    OBS_SPAN("gmm.restart");
     Rng rng = master.fork(restart + 1);
 
     // --- initialization: k-means++ means, shared spherical covariance ---
@@ -269,6 +279,8 @@ Gmm Gmm::fit(const std::vector<std::vector<double>>& data,
       });
       double ll = 0.0;
       for (double v : sample_ll) ll += v;
+      em_iterations.add();
+      ll_gauge.set(ll);
 
       // M-step. Effective counts first; then the dead-component re-seeds are
       // drawn serially in component order (the RNG stream must not depend on

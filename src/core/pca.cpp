@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mhm {
 
@@ -98,6 +100,7 @@ Matrix gram_matrix(const std::vector<std::vector<double>>& xs,
 
 Eigenmemory Eigenmemory::fit(const std::vector<std::vector<double>>& training,
                              const Options& options) {
+  OBS_SPAN("pca.fit");
   if (training.empty()) {
     throw ConfigError("Eigenmemory::fit: empty training set");
   }
@@ -173,6 +176,14 @@ Eigenmemory Eigenmemory::fit(const std::vector<std::vector<double>>& training,
       for (std::size_t i = 0; i < l; ++i) urow[i] = eig.eigenvectors(i, k);
     }
   }
+  obs::Registry::instance()
+      .gauge("core.pca.components_retained",
+             "eigenmemories kept by the most recent fit")
+      .set(static_cast<double>(keep));
+  obs::Registry::instance()
+      .gauge("core.pca.variance_explained",
+             "variance fraction captured by the retained eigenmemories")
+      .set(em.variance_explained());
   return em;
 }
 
@@ -211,6 +222,7 @@ std::vector<double> Eigenmemory::project(const HeatMap& map) const {
 
 std::vector<std::vector<double>> Eigenmemory::project_all(
     const std::vector<std::vector<double>>& maps) const {
+  OBS_SPAN("pca.project_all");
   std::vector<std::vector<double>> out(maps.size());
   parallel_for(maps.size(), 0, [&](std::size_t i0, std::size_t i1) {
     std::vector<double> phi;

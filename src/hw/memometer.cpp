@@ -1,10 +1,34 @@
 #include "hw/memometer.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace mhm::hw {
+
+namespace {
+
+struct MeterMetrics {
+  obs::Counter& intervals = obs::Registry::instance().counter(
+      "hw.memometer.intervals", "monitoring intervals completed");
+  obs::Counter& counted = obs::Registry::instance().counter(
+      "hw.memometer.fetches_counted", "snooped fetches counted into cells");
+  obs::Counter& filtered = obs::Registry::instance().counter(
+      "hw.memometer.fetches_filtered",
+      "snooped fetches rejected by the address filter");
+  obs::Counter& clips = obs::Registry::instance().counter(
+      "hw.memometer.cell_saturation_clips",
+      "32-bit cell counters that clipped at their ceiling");
+};
+
+MeterMetrics& meter_metrics() {
+  static MeterMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Memometer::Memometer(const MhmConfig& config, SimTime start_time,
                      ReadyCallback on_ready)
@@ -30,6 +54,16 @@ void Memometer::advance_to(SimTime now) {
     finished.interval_index = interval_index_;
     finished.interval_start = interval_start_;
     ++intervals_completed_;
+    // Flush the deltas accumulated since the previous boundary; per-burst
+    // increments would put two atomics on every snooped burst.
+    MeterMetrics& m = meter_metrics();
+    m.intervals.add();
+    m.counted.add(counted_ - counted_flushed_);
+    m.filtered.add(filtered_out_ - filtered_flushed_);
+    m.clips.add(saturation_clips_ - clips_flushed_);
+    counted_flushed_ = counted_;
+    filtered_flushed_ = filtered_out_;
+    clips_flushed_ = saturation_clips_;
 
     // Swap: the other unit becomes active while this one is analyzed.
     const int analysis_unit = active_unit_;
@@ -87,6 +121,10 @@ void Memometer::record(const AccessBurst& burst) {
     const std::uint64_t words = end_word - first_word;
     if (words == 0) continue;
     const std::uint64_t count = words * burst.sweeps;
+    constexpr std::uint64_t kCellMax = std::numeric_limits<std::uint32_t>::max();
+    if (static_cast<std::uint64_t>(active[cell]) + count > kCellMax) {
+      ++saturation_clips_;
+    }
     active.increment(cell, count);
     counted_ += count;
   }
@@ -108,6 +146,15 @@ void Memometer::finish(SimTime now, bool deliver_partial) {
     if (on_ready_) on_ready_(partial);
     partial.reset();
   }
+  // Flush whatever accumulated after the last boundary so end-of-run totals
+  // in the registry match the accessors.
+  MeterMetrics& m = meter_metrics();
+  m.counted.add(counted_ - counted_flushed_);
+  m.filtered.add(filtered_out_ - filtered_flushed_);
+  m.clips.add(saturation_clips_ - clips_flushed_);
+  counted_flushed_ = counted_;
+  filtered_flushed_ = filtered_out_;
+  clips_flushed_ = saturation_clips_;
 }
 
 }  // namespace mhm::hw

@@ -58,6 +58,8 @@ class Memometer final : public BusObserver {
   std::uint64_t intervals_completed() const { return intervals_completed_; }
   std::uint64_t accesses_filtered_out() const { return filtered_out_; }
   std::uint64_t accesses_counted() const { return counted_; }
+  /// Times a 32-bit cell counter clipped at its ceiling this run.
+  std::uint64_t cell_saturation_clips() const { return saturation_clips_; }
   /// Which of the two on-chip memories currently accumulates (0 or 1).
   int active_unit() const { return active_unit_; }
   /// Read-only view of the active (in-progress) map — secure-core debug aid.
@@ -81,6 +83,12 @@ class Memometer final : public BusObserver {
   std::uint64_t intervals_completed_ = 0;
   std::uint64_t filtered_out_ = 0;
   std::uint64_t counted_ = 0;
+  std::uint64_t saturation_clips_ = 0;
+  // Metrics-flush watermarks: deltas since the last interval boundary are
+  // pushed to the obs registry once per interval, keeping the snoop path hot.
+  std::uint64_t filtered_flushed_ = 0;
+  std::uint64_t counted_flushed_ = 0;
+  std::uint64_t clips_flushed_ = 0;
 };
 
 }  // namespace mhm::hw

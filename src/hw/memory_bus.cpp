@@ -3,8 +3,19 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace mhm::hw {
+
+namespace {
+
+obs::Counter& bursts_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter(
+      "hw.bus.bursts", "fetch bursts published on the monitored bus");
+  return c;
+}
+
+}  // namespace
 
 void MemoryBus::attach(BusObserver* observer) {
   MHM_ASSERT(observer != nullptr, "MemoryBus::attach: null observer");
@@ -27,6 +38,7 @@ void MemoryBus::publish(const AccessBurst& burst) {
   last_time_ = burst.time;
   ++bursts_;
   accesses_ += burst.total_accesses();
+  bursts_counter().add();
   for (auto* obs : observers_) obs->on_burst(burst);
 }
 

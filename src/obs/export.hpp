@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mhm::obs {
+
+/// Text exporters for the observability state. Schemas are documented in
+/// docs/FILE_FORMATS.md ("Observability exports").
+
+/// Prometheus text exposition format (version 0.0.4). Metric names are the
+/// registry's dotted names with dots mapped to underscores and an `mhm_`
+/// prefix ("pipeline.alarms" → "mhm_pipeline_alarms"). Histograms emit the
+/// conventional `_bucket{le=...}` / `_sum` / `_count` series.
+std::string prometheus_text(const Registry& registry = Registry::instance());
+
+/// One JSON object per line, one line per metric.
+std::string metrics_json_lines(
+    const Registry& registry = Registry::instance());
+
+/// One JSON object per line, one line per retained span (oldest first).
+std::string spans_json_lines(
+    const SpanBuffer& buffer = SpanBuffer::instance());
+
+/// One JSON object per line, one line per retained decision (oldest first).
+std::string journal_json_lines(const DecisionJournal& journal);
+
+/// One decision rendered as a single JSON line (shared by the exporter and
+/// mhm_tool's per-alarm output).
+std::string decision_json(const DecisionRecord& record);
+
+}  // namespace mhm::obs

@@ -1,0 +1,74 @@
+#include "obs/journal.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mhm::obs {
+
+DecisionJournal::DecisionJournal(std::size_t capacity) : ring_(capacity) {}
+
+void DecisionJournal::append(DecisionRecord record) { append_swap(record); }
+
+void DecisionJournal::append_swap(DecisionRecord& record) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.empty()) return;
+  std::swap(ring_[head_], record);
+  head_ = (head_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+  ++total_;
+}
+
+std::vector<DecisionRecord> DecisionJournal::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<DecisionRecord> out;
+  out.reserve(size_);
+  const std::size_t first = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<DecisionRecord> DecisionJournal::alarms() const {
+  auto all = snapshot();
+  std::vector<DecisionRecord> out;
+  for (auto& rec : all) {
+    if (rec.alarm) out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::optional<DecisionRecord> DecisionJournal::find(
+    std::uint64_t interval_index) const {
+  const auto all = snapshot();
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    if (it->interval_index == interval_index) return *it;
+  }
+  return std::nullopt;
+}
+
+std::size_t DecisionJournal::capacity() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ring_.size();
+}
+
+std::size_t DecisionJournal::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return size_;
+}
+
+std::uint64_t DecisionJournal::total_appended() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+void DecisionJournal::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+  for (auto& rec : ring_) rec = DecisionRecord{};
+}
+
+}  // namespace mhm::obs

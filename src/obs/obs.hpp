@@ -1,0 +1,40 @@
+#pragma once
+
+#include <atomic>
+
+/// Observability kill switches.
+///
+/// Runtime: the MHM_OBS environment variable. Unset or any value other than
+/// "0" enables observability; MHM_OBS=0 turns every metric increment, span
+/// record and journal append into a cheap early-return (one relaxed atomic
+/// load). `set_enabled()` overrides the environment at runtime — the
+/// overhead bench and the no-op tests flip it without re-exec'ing.
+///
+/// Compile time: building with -DMHM_OBS_DISABLED (CMake option
+/// MHM_OBS_DISABLE) pins `enabled()` to a constant false so the optimizer
+/// can delete the instrumentation entirely.
+namespace mhm::obs {
+
+#if defined(MHM_OBS_DISABLED)
+
+constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+
+#else
+
+namespace detail {
+/// The process-wide switch, initialized once from MHM_OBS.
+std::atomic<bool>& enabled_flag();
+}  // namespace detail
+
+inline bool enabled() {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_enabled(bool on) {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+#endif
+
+}  // namespace mhm::obs

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace mhm::obs {
+
+/// Scoped tracing spans.
+///
+/// `OBS_SPAN("pca.fit")` opens a span for the enclosing scope: on entry it
+/// notes the monotonic clock and the innermost open span of the calling
+/// thread (the parent); on exit it appends a SpanRecord to the process-wide
+/// bounded ring buffer. Span names must be string literals (or otherwise
+/// outlive the buffer) — records store the pointer, not a copy, so a closed
+/// span costs one mutex'd ring write and zero allocations.
+///
+/// With observability disabled (MHM_OBS=0 / set_enabled(false)) the scope
+/// constructor is a single relaxed load and nothing is recorded.
+
+/// One completed span.
+struct SpanRecord {
+  std::uint64_t id = 0;         ///< Process-unique, 1-based.
+  std::uint64_t parent_id = 0;  ///< 0 = root span of its thread.
+  const char* name = "";        ///< Borrowed; literals only.
+  std::size_t thread_shard = 0; ///< obs::thread_shard() of the recording thread.
+  std::uint64_t start_ns = 0;   ///< Monotonic (steady_clock) nanoseconds.
+  std::uint64_t duration_ns = 0;
+};
+
+/// Process-wide bounded ring of completed spans; oldest entries are
+/// overwritten once `capacity()` is exceeded.
+class SpanBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  static SpanBuffer& instance();
+
+  /// Oldest-to-newest copy of the retained records.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Spans recorded since process start (including overwritten ones).
+  std::uint64_t total_recorded() const;
+
+  std::size_t capacity() const;
+  /// Resize the ring; existing records are dropped (tests).
+  void set_capacity(std::size_t capacity);
+  void clear();
+
+  /// Internal: append one completed record.
+  void record(const SpanRecord& rec);
+
+ private:
+  explicit SpanBuffer(std::size_t capacity);
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  std::size_t head_ = 0;        ///< Next write position.
+  std::size_t size_ = 0;        ///< Valid records in the ring.
+  std::uint64_t total_ = 0;
+};
+
+/// RAII scope that records one span into SpanBuffer::instance().
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Id of this span (0 when observability is disabled).
+  std::uint64_t id() const { return id_; }
+
+ private:
+  const char* name_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+#define MHM_OBS_CONCAT_INNER(a, b) a##b
+#define MHM_OBS_CONCAT(a, b) MHM_OBS_CONCAT_INNER(a, b)
+
+/// Open a span for the rest of the enclosing scope.
+#define OBS_SPAN(name) \
+  ::mhm::obs::SpanScope MHM_OBS_CONCAT(mhm_obs_span_, __LINE__)(name)
+
+}  // namespace mhm::obs

@@ -1,14 +1,51 @@
 #include "pipeline/experiment.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mhm::pipeline {
 
+namespace {
+
+/// Heartbeat policy: MHM_PROGRESS=1 forces it on, MHM_PROGRESS=0 off; when
+/// unset it follows whether stderr is a terminal (so ctest logs stay clean
+/// while interactive tool runs show progress).
+bool progress_heartbeat_enabled() {
+  if (const char* env = std::getenv("MHM_PROGRESS")) return env[0] == '1';
+  return isatty(fileno(stderr)) != 0;
+}
+
+struct PipelineMetrics {
+  obs::Counter& scenarios_run = obs::Registry::instance().counter(
+      "pipeline.scenarios_run", "scenario simulations completed (lifetime)");
+  obs::Gauge& scenarios_completed = obs::Registry::instance().gauge(
+      "pipeline.scenarios_completed",
+      "scenarios finished in the current run_scenarios batch");
+  obs::Histogram& scenario_min_density = obs::Registry::instance().histogram(
+      "pipeline.scenario_min_log10_density",
+      {-100.0, -50.0, -30.0, -20.0, -15.0, -10.0, -5.0, 0.0},
+      "lowest log10 density scored in each completed scenario");
+};
+
+PipelineMetrics& pipeline_metrics() {
+  static PipelineMetrics m;
+  return m;
+}
+
+}  // namespace
+
 HeatMapTrace collect_normal_trace(const sim::SystemConfig& config,
                                   const ProfilingPlan& plan) {
+  OBS_SPAN("pipeline.collect_normal_trace");
   // Each profiling run is an independent seeded system; simulate them
   // concurrently (grain 1 = one run per chunk) and concatenate in seed
   // order, which reproduces the serial trace exactly.
@@ -124,6 +161,10 @@ std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
   // are independent and the batch result equals calling run_scenario() in a
   // loop. The shared detector is safe to score from several threads.
   std::vector<ScenarioRun> results(specs.size());
+  PipelineMetrics& metrics = pipeline_metrics();
+  metrics.scenarios_completed.set(0.0);
+  const bool heartbeat = progress_heartbeat_enabled();
+  std::atomic<std::size_t> completed{0};
   parallel_for(specs.size(), 1, [&](std::size_t s0, std::size_t s1) {
     for (std::size_t s = s0; s < s1; ++s) {
       const ScenarioSpec& spec = specs[s];
@@ -133,6 +174,19 @@ std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
       }
       results[s] = run_scenario(config, attack.get(), spec.trigger_time,
                                 spec.duration, detector, spec.seed);
+
+      const std::size_t done = completed.fetch_add(1) + 1;
+      metrics.scenarios_run.add();
+      metrics.scenarios_completed.set(static_cast<double>(done));
+      if (!results[s].log10_densities.empty()) {
+        metrics.scenario_min_density.observe(
+            *std::min_element(results[s].log10_densities.begin(),
+                              results[s].log10_densities.end()));
+      }
+      if (heartbeat) {
+        std::fprintf(stderr, "[mhm] scenarios %zu/%zu (%s done)\n", done,
+                     specs.size(), results[s].scenario.c_str());
+      }
     }
   });
   return results;
@@ -141,15 +195,23 @@ std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
 TrainedPipeline train_pipeline(const sim::SystemConfig& config,
                                const ProfilingPlan& plan,
                                const AnomalyDetector::Options& options) {
+  OBS_SPAN("pipeline.train");
   TrainedPipeline out;
-  out.training = collect_normal_trace(config, plan);
+  {
+    OBS_SPAN("pipeline.train.profile_training");
+    out.training = collect_normal_trace(config, plan);
+  }
 
   // Separate normal runs (disjoint seeds) for threshold calibration.
   ProfilingPlan validation_plan = plan;
   validation_plan.runs = std::max<std::size_t>(1, plan.runs / 5);
   validation_plan.seed_base = plan.seed_base + plan.runs + 1000;
-  out.validation = collect_normal_trace(config, validation_plan);
+  {
+    OBS_SPAN("pipeline.train.profile_validation");
+    out.validation = collect_normal_trace(config, validation_plan);
+  }
 
+  OBS_SPAN("pipeline.train.fit_detector");
   out.detector = std::make_unique<AnomalyDetector>(
       AnomalyDetector::train(out.training, out.validation, options));
   out.theta_05 = out.detector->thresholds().theta_05();

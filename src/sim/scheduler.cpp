@@ -2,10 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace mhm::sim {
+
+namespace {
+
+/// Process-wide scheduler telemetry (aggregated across every simulated
+/// system, including concurrent scenario fan-outs).
+struct SchedMetrics {
+  obs::Counter& preemptions = obs::Registry::instance().counter(
+      "sim.sched.preemptions", "context switches onto a ready task");
+  obs::Counter& deadline_misses = obs::Registry::instance().counter(
+      "sim.sched.deadline_misses", "jobs that missed their deadline");
+  obs::Counter& jobs_released = obs::Registry::instance().counter(
+      "sim.sched.jobs_released", "periodic job releases");
+  obs::Counter& jobs_completed = obs::Registry::instance().counter(
+      "sim.sched.jobs_completed", "jobs run to completion");
+  obs::Counter& syscalls = obs::Registry::instance().counter(
+      "sim.sched.syscalls", "kernel service invocations");
+  obs::Gauge& hyperperiod_phase_ns = obs::Registry::instance().gauge(
+      "sim.sched.hyperperiod_phase_ns",
+      "now() mod hyperperiod of the most recent scheduler tick");
+};
+
+SchedMetrics& sched_metrics() {
+  static SchedMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Scheduler::Scheduler(const ServiceCatalog& catalog, hw::MemoryBus& bus,
                      Rng rng)
@@ -83,6 +113,7 @@ void Scheduler::run_service_now(const std::string& service) {
   const ServiceId sid = catalog_->id(service);
   (void)catalog_->invoke(sid, now_, *bus_, rng_, extra_latency_[sid]);
   ++stats_.syscalls;
+  sched_metrics().syscalls.add();
 }
 
 void Scheduler::block_cpu(SimTime duration) {
@@ -102,6 +133,21 @@ const TaskRuntime& Scheduler::task(const std::string& name) const {
 }
 
 void Scheduler::reassign_priorities() {
+  // Hyperperiod = LCM of active periods; capped so pathological period sets
+  // cannot overflow SimTime (the phase gauge then simply never wraps).
+  hyperperiod_ = 0;
+  for (const auto& t : tasks_) {
+    if (!t.active) continue;
+    if (hyperperiod_ == 0) {
+      hyperperiod_ = t.spec.period;
+    } else if (hyperperiod_ / std::gcd(hyperperiod_, t.spec.period) <=
+               std::numeric_limits<SimTime>::max() / t.spec.period) {
+      hyperperiod_ = std::lcm(hyperperiod_, t.spec.period);
+    } else {
+      hyperperiod_ = std::numeric_limits<SimTime>::max();
+    }
+  }
+
   // Rate-monotonic: shorter period = higher priority (lower value); ties
   // broken by name for determinism.
   std::vector<std::size_t> order(tasks_.size());
@@ -210,6 +256,7 @@ void Scheduler::release_job(std::size_t i) {
     // dropped so the task re-synchronizes (typical watchdog behaviour).
     ++t.deadline_misses;
     ++stats_.deadline_misses;
+    sched_metrics().deadline_misses.add();
     if (running_ && *running_ == i) running_.reset();
   }
   t.job_pending = true;
@@ -219,6 +266,7 @@ void Scheduler::release_job(std::size_t i) {
   t.job_deadline = t.next_release + t.spec.period;
   ++t.jobs_released;
   ++stats_.jobs_released;
+  sched_metrics().jobs_released.add();
   t.next_release += t.spec.period;
 }
 
@@ -228,12 +276,14 @@ void Scheduler::complete_job(std::size_t i) {
   t.plan.clear();
   ++t.jobs_completed;
   ++stats_.jobs_completed;
+  sched_metrics().jobs_completed.add();
   const SimTime response = now_ - t.job_release_time;
   t.worst_response = std::max(t.worst_response, response);
   t.total_response += response;
   if (now_ > t.job_deadline) {
     ++t.deadline_misses;
     ++stats_.deadline_misses;
+    sched_metrics().deadline_misses.add();
   }
   if (running_ && *running_ == i) running_.reset();
   if (t.kill_after_payload) {
@@ -268,6 +318,10 @@ void Scheduler::emit_idle(SimTime from, SimTime until) {
 
 void Scheduler::process_tick() {
   ++stats_.ticks;
+  if (hyperperiod_ > 0) {
+    sched_metrics().hyperperiod_phase_ns.set(
+        static_cast<double>(now_ % hyperperiod_));
+  }
   (void)catalog_->invoke(svc_tick_, now_, *bus_, rng_);
 }
 
@@ -287,6 +341,7 @@ void Scheduler::execute_window(SimTime until) {
         // Switching onto a (different) task: context-switch path runs.
         (void)catalog_->invoke(svc_switch_, now_, *bus_, rng_);
         ++stats_.context_switches;
+        sched_metrics().preemptions.add();
       }
       running_ = ready;
     }
@@ -309,6 +364,7 @@ void Scheduler::execute_window(SimTime until) {
                                        service_latency(seg.service));
       seg.service_emitted = true;
       ++stats_.syscalls;
+      sched_metrics().syscalls.add();
     }
     if (seg.kind == JobSegment::Kind::UserCompute && !seg.service_emitted) {
       // User-space instruction fetches: outside the monitored kernel region,

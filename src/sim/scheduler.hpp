@@ -121,6 +121,9 @@ class Scheduler {
 
   SimTime now() const { return now_; }
   const SchedulerStats& stats() const { return stats_; }
+  /// LCM of the active task periods (0 while no task is registered); the
+  /// hyperperiod-phase gauge reports `now() % hyperperiod()`.
+  SimTime hyperperiod() const { return hyperperiod_; }
   const std::vector<TaskRuntime>& tasks() const { return tasks_; }
   const TaskRuntime& task(const std::string& name) const;
 
@@ -159,6 +162,7 @@ class Scheduler {
   std::vector<SimTime> extra_latency_;  ///< Indexed by ServiceId.
   SimTime now_ = 0;
   SimTime next_tick_ = 0;
+  SimTime hyperperiod_ = 0;  ///< LCM of active periods (overflow-capped).
   SimTime kernel_block_until_ = 0;  ///< CPU reserved by block_cpu().
   std::optional<std::size_t> running_;  ///< Task currently on the CPU.
   SchedulerStats stats_;

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace mhm {
 namespace {
@@ -152,6 +153,55 @@ TEST(AnomalyDetector, TimingStatisticsAccumulate) {
   for (int i = 0; i < 10; ++i) (void)det.analyze(world.normal_sample());
   EXPECT_EQ(det.analysis_time_stats().count(), 10u);
   EXPECT_GT(det.analysis_time_stats().mean(), 0.0);
+}
+
+TEST(AnomalyDetector, JournalMatchesVerdictsBitForBit) {
+  // The decision journal must be a faithful record of what analyze()
+  // returned — same density bits, same alarm, same pattern — plus the
+  // reduced coordinates of the projection that produced that density.
+  const bool obs_was_enabled = obs::enabled();
+  obs::set_enabled(true);
+
+  SyntheticWorld world(11);
+  const auto det = AnomalyDetector::train(world.batch(500, false),
+                                          world.batch(200, false),
+                                          small_options());
+  det.journal().clear();
+
+  std::vector<std::vector<double>> samples;
+  std::vector<Verdict> verdicts;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    samples.push_back(i % 5 == 4 ? world.anomalous_sample()
+                                 : world.normal_sample());
+    verdicts.push_back(det.analyze(samples.back(), i));
+  }
+
+  const auto records = det.journal().snapshot();
+  ASSERT_EQ(records.size(), verdicts.size());
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    const auto& rec = records[i];
+    const auto& v = verdicts[i];
+    EXPECT_EQ(rec.interval_index, v.interval_index);
+    EXPECT_EQ(rec.log10_density, v.log10_density);  // bit-for-bit
+    EXPECT_EQ(rec.alarm, v.anomalous);
+    EXPECT_EQ(rec.nearest_pattern, v.nearest_pattern);
+    EXPECT_EQ(rec.threshold, det.primary_threshold().log10_value);
+    // The stored projection is exactly what the eigenmemory produces.
+    EXPECT_EQ(rec.reduced_coords, det.eigenmemory().project(samples[i]));
+    if (rec.alarm) {
+      EXPECT_FALSE(rec.top_cells.empty());
+    } else {
+      EXPECT_TRUE(rec.top_cells.empty());
+    }
+  }
+
+  std::size_t journal_alarms = det.journal().alarms().size();
+  std::size_t verdict_alarms = 0;
+  for (const auto& v : verdicts) verdict_alarms += v.anomalous;
+  EXPECT_EQ(journal_alarms, verdict_alarms);
+  EXPECT_GT(verdict_alarms, 0u);  // the injected samples must trip alarms
+
+  obs::set_enabled(obs_was_enabled);
 }
 
 TEST(AnomalyDetector, AnalyzeHeatMapOverload) {

@@ -32,10 +32,24 @@
 //       "time_ns address [size [sweeps]]" per line) into a heat-map trace
 //       by running it through the Memometer model, ready for
 //       `train --trace`.
+//
+//   mhm_tool metrics [--seconds S] [--seed X] [--granularity B]
+//                    [--format prom|json] [--out file] [--spans file]
+//       Run the simulator briefly and export the process metrics registry
+//       (Prometheus text by default, JSON-lines with --format json);
+//       --spans additionally dumps the tracing-span ring as JSON-lines.
+//
+//   mhm_tool journal [--attack name] [--trigger-ms T] [--duration-ms D]
+//                    [--seed X] [--format text|jsonl] [--out file]
+//       Train a fast-scale detector in-process, run an attack scenario,
+//       and explain every alarm from the decision journal: interval,
+//       density vs. threshold, and the cells that deviated most from the
+//       training baseline.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -47,6 +61,7 @@
 #include "core/trace_io.hpp"
 #include "hw/address_trace.hpp"
 #include "hw/memometer.hpp"
+#include "obs/export.hpp"
 #include "pipeline/experiment.hpp"
 
 namespace {
@@ -337,10 +352,123 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+/// Write `text` to `--out` when given, stdout otherwise.
+int emit_text(const Args& args, const std::string& text) {
+  if (const auto out = args.get_optional("out")) {
+    std::ofstream file(*out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out->c_str());
+      return 1;
+    }
+    file << text;
+    std::printf("wrote %s\n", out->c_str());
+    return 0;
+  }
+  std::fputs(text.c_str(), stdout);
+  return 0;
+}
+
+int cmd_metrics(const Args& args) {
+  // Exercise the full stack briefly so the registry has live values — the
+  // same counters accumulate inside every other subcommand; this one exists
+  // to demonstrate and export them.
+  sim::SystemConfig cfg = config_from(args);
+  sim::System system(cfg);
+  system.run_for(args.get_u64("seconds", 2) * kSecond);
+
+  const std::string format = args.get("format", "prom");
+  std::string text;
+  if (format == "prom") {
+    text = obs::prometheus_text();
+  } else if (format == "json") {
+    text = obs::metrics_json_lines();
+  } else {
+    std::fprintf(stderr, "metrics: unknown --format '%s' (prom|json)\n",
+                 format.c_str());
+    return 1;
+  }
+  const int rc = emit_text(args, text);
+  if (rc != 0) return rc;
+
+  if (const auto spans_path = args.get_optional("spans")) {
+    std::ofstream file(*spans_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   spans_path->c_str());
+      return 1;
+    }
+    file << obs::spans_json_lines();
+    std::printf("wrote %s\n", spans_path->c_str());
+  }
+  return 0;
+}
+
+int cmd_journal(const Args& args) {
+  if (!obs::enabled()) {
+    std::fprintf(stderr,
+                 "journal: observability is disabled (MHM_OBS=0); nothing "
+                 "would be recorded\n");
+    return 1;
+  }
+  // Train at fast test scale in-process: assemble()d models carry no per-cell
+  // training baseline, so an in-process training run is what makes the
+  // journal's alarm explanations possible.
+  const sim::SystemConfig cfg = pipeline::fast_test_config(1);
+  std::printf("training fast-scale detector (L = %zu cells)...\n",
+              cfg.monitor.cell_count());
+  pipeline::TrainedPipeline pipe = pipeline::train_pipeline(
+      cfg, pipeline::fast_test_plan(), pipeline::fast_test_detector_options());
+  const Threshold theta = pipe.det().primary_threshold();
+
+  const std::string attack_name = args.get("attack", "shellcode");
+  const SimTime duration = args.get_u64("duration-ms", 4000) * kMillisecond;
+  const SimTime trigger = args.get_u64("trigger-ms", 2000) * kMillisecond;
+  std::unique_ptr<attacks::AttackScenario> attack;
+  if (attack_name != "normal") attack = attacks::make_scenario(attack_name);
+
+  pipeline::ScenarioRun run =
+      pipeline::run_scenario(cfg, attack.get(), trigger, duration,
+                             &pipe.det(), args.get_u64("seed", 42));
+
+  const obs::DecisionJournal& journal = pipe.det().journal();
+  if (args.get("format", "text") == "jsonl") {
+    return emit_text(args, obs::journal_json_lines(journal));
+  }
+
+  const auto alarms = journal.alarms();
+  std::printf("scenario '%s': trigger at interval %llu, %zu intervals "
+              "analyzed, %zu alarms (theta = %.2f at p = %.3f)\n",
+              run.scenario.c_str(),
+              static_cast<unsigned long long>(run.trigger_interval),
+              run.verdicts.size(), alarms.size(), theta.log10_value, theta.p);
+  for (const auto& rec : alarms) {
+    std::printf("alarm at interval %llu (phase %llu): log10 Pr = %.2f < "
+                "%.2f, nearest pattern %zu\n",
+                static_cast<unsigned long long>(rec.interval_index),
+                static_cast<unsigned long long>(rec.phase),
+                rec.log10_density, rec.threshold, rec.nearest_pattern);
+    for (const auto& cell : rec.top_cells) {
+      std::printf("    cell %4zu: observed %12.0f, expected %12.1f, "
+                  "z %+8.1f\n",
+                  cell.cell, cell.observed, cell.expected, cell.z_score);
+    }
+  }
+  if (const auto out = args.get_optional("out")) {
+    std::ofstream file(*out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out->c_str());
+      return 1;
+    }
+    file << obs::journal_json_lines(journal);
+    std::printf("wrote %s\n", out->c_str());
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: mhm_tool <train|record|ingest|inspect|monitor|simulate> [--flag "
-               "value]...\n");
+               "usage: mhm_tool <train|record|ingest|inspect|monitor|simulate"
+               "|metrics|journal> [--flag value]...\n");
 }
 
 }  // namespace
@@ -359,6 +487,8 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(args);
     if (cmd == "monitor") return cmd_monitor(args);
     if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "metrics") return cmd_metrics(args);
+    if (cmd == "journal") return cmd_journal(args);
     usage();
     return 1;
   } catch (const std::exception& e) {
