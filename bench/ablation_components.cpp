@@ -36,6 +36,7 @@ int main() {
     opts.gmm.components = 5;
     opts.gmm.restarts = 3;
     const auto pipe = pipeline::train_pipeline(cfg, plan, opts);
+    reset_analysis_time();  // Scope the histogram to this L' configuration.
 
     // Mean reconstruction error over the validation maps.
     RunningStats recon;
@@ -59,7 +60,7 @@ int main() {
     };
     const double auc_app = attacked_auc("app_addition");
     const double auc_rootkit = attacked_auc("rootkit");
-    const double us = pipe.detector->analysis_time_stats().mean() / 1000.0;
+    const double us = analysis_mean_us();
 
     table.add_row({std::to_string(components),
                    fmt_double(100.0 * pipe.det().eigenmemory().variance_explained(), 3),

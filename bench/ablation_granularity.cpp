@@ -42,6 +42,7 @@ int main() {
     opts.gmm.components = 5;
     opts.gmm.restarts = 3;
     const auto pipe = pipeline::train_pipeline(cfg, plan, opts);
+    reset_analysis_time();  // Scope the histogram to this granularity.
 
     // Normal scores from a held-out run.
     pipeline::ScenarioRun normal_run = pipeline::run_scenario(
@@ -63,9 +64,7 @@ int main() {
     const double auc_app = attacked_auc("app_addition");
     const double auc_shell = attacked_auc("shellcode");
     const double auc_rootkit = attacked_auc("rootkit");
-    const double us = pipe.detector->analysis_time_stats().count() > 0
-                          ? pipe.detector->analysis_time_stats().mean() / 1000.0
-                          : 0.0;
+    const double us = analysis_mean_us();
 
     table.add_row({std::to_string(granularity),
                    std::to_string(cfg.monitor.cell_count()),

@@ -3,7 +3,19 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace mhm::bench {
+
+void reset_analysis_time() {
+  AnomalyDetector::analysis_time_histogram().reset();
+}
+
+double analysis_mean_us() {
+  const obs::Histogram& h = AnomalyDetector::analysis_time_histogram();
+  const std::uint64_t n = h.count();
+  return n > 0 ? h.sum() / static_cast<double>(n) / 1000.0 : 0.0;
+}
 
 bool fast_mode() {
   const char* env = std::getenv("MHM_BENCH_FAST");

@@ -61,4 +61,13 @@ void print_detection_figure(const pipeline::ScenarioRun& run,
 void write_series_csv(const std::string& name,
                       const pipeline::ScenarioRun& run);
 
+/// Zero the process-wide `detector.analysis_ns` registry histogram so the
+/// next analysis_mean_us() reading covers only the run that follows (the
+/// per-detector RunningStats accumulator this replaced was removed).
+void reset_analysis_time();
+
+/// Mean analysis time in microseconds accumulated since the last
+/// reset_analysis_time() (0 when nothing was recorded, e.g. MHM_OBS=0).
+double analysis_mean_us();
+
 }  // namespace mhm::bench

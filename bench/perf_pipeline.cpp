@@ -20,6 +20,7 @@
 #include "bench_support.hpp"
 #include "common/parallel.hpp"
 #include "obs/obs.hpp"
+#include "obs/server.hpp"
 
 namespace {
 
@@ -114,12 +115,12 @@ int main() {
 
     // Online analyze latency (serial — the secure core scores one interval
     // at a time) and the determinism probe: score every validation map.
-    detector.reset_timing();
+    reset_analysis_time();
     row.probe_scores.reserve(validation.size());
     for (const auto& m : validation) {
       row.probe_scores.push_back(detector.analyze(m).log10_density);
     }
-    row.analyze_mean_us = detector.analysis_time_stats().mean() / 1000.0;
+    row.analyze_mean_us = analysis_mean_us();
     for (const auto& run : scenario_runs) {
       row.probe_scores.insert(row.probe_scores.end(),
                               run.log10_densities.begin(),
@@ -189,6 +190,36 @@ int main() {
   std::printf("[bench] obs overhead: on=%.3fs off=%.3fs (%+.2f%%, sink %.1f)\n",
               obs_on_seconds, obs_off_seconds, obs_overhead_pct, obs_sink);
 
+  // Monitoring-endpoint overhead: the same workload with the HTTP server
+  // bound but no client connected. The serve thread sits in poll() the whole
+  // time, so the contract is < 1% vs. the obs-enabled baseline.
+  obs::set_enabled(true);
+  obs::MonitorServer server;
+  double server_on_seconds = 1e300;
+  const bool server_started = server.start(obs::MonitorServer::Options{});
+  if (server_started) {
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t_srv = Clock::now();
+      obs_sink += obs_workload();
+      server_on_seconds = std::min(server_on_seconds, seconds_since(t_srv));
+    }
+    server.stop();
+  }
+  obs::set_enabled(obs_was_enabled);
+  const double server_overhead_pct =
+      server_started && obs_on_seconds > 0.0
+          ? 100.0 * (server_on_seconds - obs_on_seconds) / obs_on_seconds
+          : 0.0;
+  if (server_started) {
+    std::printf("[bench] idle-server overhead: serving=%.3fs vs obs-only="
+                "%.3fs (%+.2f%%)\n",
+                server_on_seconds, obs_on_seconds, server_overhead_pct);
+  } else {
+    server_on_seconds = 0.0;
+    std::printf("[bench] idle-server overhead: skipped (obs compiled out or "
+                "bind failed)\n");
+  }
+
   bool bit_identical = true;
   for (const auto& row : rows) {
     if (row.probe_scores != rows.front().probe_scores) bit_identical = false;
@@ -255,6 +286,9 @@ int main() {
   std::fprintf(json, "  \"obs_on_seconds\": %.6f,\n", obs_on_seconds);
   std::fprintf(json, "  \"obs_off_seconds\": %.6f,\n", obs_off_seconds);
   std::fprintf(json, "  \"obs_overhead_pct\": %.3f,\n", obs_overhead_pct);
+  std::fprintf(json, "  \"server_on_seconds\": %.6f,\n", server_on_seconds);
+  std::fprintf(json, "  \"server_overhead_pct\": %.3f,\n",
+               server_overhead_pct);
   std::fprintf(json, "  \"bit_identical\": %s\n",
                bit_identical ? "true" : "false");
   std::fprintf(json, "}\n");

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "common/ascii_plot.hpp"
+#include "common/stats.hpp"
 #include "pipeline/experiment.hpp"
 #include "sim/system.hpp"
 

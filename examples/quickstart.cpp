@@ -11,6 +11,7 @@
 
 #include "attacks/attacks.hpp"
 #include "common/ascii_plot.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/experiment.hpp"
 
 int main() {
@@ -69,7 +70,10 @@ int main() {
   plot.vlines = {static_cast<double>(run.trigger_interval)};
   std::fputs(render_line_plot(run.log10_densities, plot).c_str(), stdout);
 
+  const obs::Histogram& hist = AnomalyDetector::analysis_time_histogram();
   std::printf("\nMean analysis time per MHM: %.1f us\n",
-              trained.det().analysis_time_stats().mean() / 1000.0);
+              hist.count() > 0
+                  ? hist.sum() / static_cast<double>(hist.count()) / 1000.0
+                  : 0.0);
   return 0;
 }

@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/stats.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace mhm {
@@ -29,6 +31,10 @@ DetectorMetrics& detector_metrics() {
 }
 
 }  // namespace
+
+obs::Histogram& AnomalyDetector::analysis_time_histogram() {
+  return detector_metrics().analysis_ns;
+}
 
 ThresholdCalibrator::ThresholdCalibrator(std::vector<double> validation_log10)
     : scores_(std::move(validation_log10)) {
@@ -157,12 +163,9 @@ Verdict AnomalyDetector::analyze(const std::vector<double>& raw,
   v.anomalous = log10_density < primary_.log10_value;
   v.nearest_pattern = pattern;
   v.analysis_time = std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
-  {
-    std::lock_guard<std::mutex> lk(*timing_mu_);
-    timing_.add(static_cast<double>(v.analysis_time.count()));
-  }
 
   if (obs::enabled()) {
+    obs::mark_analysis();
     DetectorMetrics& m = detector_metrics();
     m.intervals.add();
     if (v.anomalous) m.alarms.add();
@@ -212,6 +215,10 @@ Verdict AnomalyDetector::analyze(const std::vector<double>& raw,
       }
     }
     journal_->append_swap(rec);
+    // Crash-safe black box: remember the raw row and, on alarm, leave a
+    // rate-limited .mhmdump on disk. One relaxed load while unarmed.
+    obs::FlightRecorder::instance().note_interval(raw, interval_index,
+                                                  v.anomalous);
   }
   return v;
 }

@@ -3,16 +3,18 @@
 #include <chrono>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "common/stats.hpp"
 #include "core/gmm.hpp"
 #include "core/heatmap.hpp"
 #include "core/pca.hpp"
 #include "obs/journal.hpp"
+
+namespace mhm::obs {
+class Histogram;
+}  // namespace mhm::obs
 
 namespace mhm {
 
@@ -109,21 +111,20 @@ class AnomalyDetector {
   const ThresholdCalibrator& thresholds() const { return calibrator_; }
   Threshold primary_threshold() const { return primary_; }
 
-  /// Aggregate analysis-time statistics over all analyze() calls.
-  /// Deprecated: the obs registry's `detector.analysis_ns` histogram carries
-  /// the same information process-wide; prefer it for new code. Returns a
-  /// reference into mutable shared state — take a copy under low concurrency
-  /// rather than holding the reference across analyze() calls.
-  const RunningStats& analysis_time_stats() const { return timing_; }
-  void reset_timing() {
-    std::lock_guard<std::mutex> lk(*timing_mu_);
-    timing_ = RunningStats();
-  }
+  /// The process-wide `detector.analysis_ns` registry histogram — every
+  /// analyze() call in the process observes into it. Benches and tests that
+  /// want a per-run mean reset it before the run and read sum()/count()
+  /// after (it records nothing while observability is disabled).
+  static obs::Histogram& analysis_time_histogram();
 
-  /// Per-interval decision journal (shared between copies of the detector,
-  /// like the timing lock). Always present; empty while observability is
-  /// disabled.
+  /// Per-interval decision journal (shared between copies of the detector).
+  /// Always present; empty while observability is disabled.
   obs::DecisionJournal& journal() const { return *journal_; }
+  /// Shared handle for consumers that outlive this detector object — the
+  /// monitoring endpoint and the flight recorder hold one.
+  std::shared_ptr<const obs::DecisionJournal> journal_ptr() const {
+    return journal_;
+  }
 
   /// Reassemble from previously trained parts (deserialization): dimension
   /// compatibility between the PCA output and the GMM is validated.
@@ -152,12 +153,6 @@ class AnomalyDetector {
       std::make_shared<obs::DecisionJournal>();
   std::size_t journal_phases_ = 10;
   std::size_t journal_top_cells_ = 8;
-  mutable RunningStats timing_;
-  /// Guards timing_ when scenario runs analyze() concurrently. shared_ptr
-  /// keeps the detector copyable (copies share the lock, which is fine for
-  /// a stats accumulator).
-  mutable std::shared_ptr<std::mutex> timing_mu_ =
-      std::make_shared<std::mutex>();
 };
 
 /// Baseline detector from Figure 9's discussion: watch only the total

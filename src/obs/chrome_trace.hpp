@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace mhm::obs {
+
+/// Render the span ring as Chrome `trace_event` JSON — one complete ("X")
+/// event per retained span — so a run opens directly in Perfetto or
+/// chrome://tracing. Timestamps are microseconds relative to the earliest
+/// retained span; the tid is the recording thread's obs shard, and the
+/// span/parent ids ride along in `args` so the exact nesting recorded by
+/// SpanBuffer survives even when Perfetto re-derives stacks from ts/dur.
+/// Layout is documented in docs/FILE_FORMATS.md ("Chrome trace export").
+std::string chrome_trace_json(const SpanBuffer& buffer = SpanBuffer::instance());
+
+}  // namespace mhm::obs

@@ -1,0 +1,266 @@
+#include "obs/flight.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace mhm::obs {
+
+#if defined(MHM_OBS_DISABLED)
+
+// Compiled-out build: every entry point is a no-op so callers need no #ifs.
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* fr = new FlightRecorder();
+  return *fr;
+}
+bool FlightRecorder::arm(const Options&,
+                         std::shared_ptr<const DecisionJournal>) {
+  return false;
+}
+void FlightRecorder::disarm() {}
+bool FlightRecorder::armed() const { return false; }
+void FlightRecorder::note_interval(const std::vector<double>&, std::uint64_t,
+                                   bool) {}
+std::string FlightRecorder::dump(const std::string&) { return ""; }
+std::string FlightRecorder::crash_file() const { return ""; }
+
+#else
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string wall_stamp() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y%m%d-%H%M%S", &tm);
+  return buf;
+}
+
+/// State the signal handler touches. Kept in plain atomics at file scope —
+/// the handler may not take the recorder's mutex, allocate, or format.
+std::atomic<bool> g_armed{false};
+std::atomic<int> g_crash_fd{-1};
+std::vector<char> g_snapshot[2];
+std::atomic<std::size_t> g_snapshot_len[2] = {0, 0};
+std::atomic<int> g_published{-1};
+std::atomic<bool> g_handlers_installed{false};
+struct sigaction g_old_segv;
+struct sigaction g_old_abrt;
+
+/// Async-signal-safe: write() loop of the published prerendered snapshot to
+/// the pre-opened fd, fsync, then re-raise with the default disposition so
+/// the process still dies with the original signal.
+void crash_handler(int sig) {
+  static std::atomic<bool> entered{false};
+  if (!entered.exchange(true, std::memory_order_relaxed)) {
+    const int fd = g_crash_fd.load(std::memory_order_relaxed);
+    const int idx = g_published.load(std::memory_order_acquire);
+    if (fd >= 0 && idx >= 0) {
+      const char* p = g_snapshot[idx].data();
+      std::size_t left = g_snapshot_len[idx].load(std::memory_order_acquire);
+      while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        if (n == 0) break;
+        p += n;
+        left -= static_cast<std::size_t>(n);
+      }
+      ::fsync(fd);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* fr =
+      new FlightRecorder();  // Leaked: outlives static dtors.
+  return *fr;
+}
+
+bool FlightRecorder::arm(const Options& options,
+                         std::shared_ptr<const DecisionJournal> journal) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (g_armed.load(std::memory_order_relaxed)) return false;
+  options_ = options;
+  journal_ = std::move(journal);
+  have_row_ = false;
+  have_alarm_row_ = false;
+  last_alarm_dump_ns_ = 0;
+  last_refresh_ns_ = 0;
+
+  crash_path_ = options_.dir + "/mhm-" + wall_stamp() + "-signal-" +
+                std::to_string(::getpid()) + ".mhmdump";
+  const int fd = ::open(crash_path_.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    crash_path_.clear();
+    journal_.reset();
+    return false;
+  }
+  g_crash_fd.store(fd, std::memory_order_relaxed);
+  g_snapshot[0].assign(options_.buffer_bytes, '\0');
+  g_snapshot[1].assign(options_.buffer_bytes, '\0');
+  g_snapshot_len[0].store(0, std::memory_order_relaxed);
+  g_snapshot_len[1].store(0, std::memory_order_relaxed);
+  g_published.store(-1, std::memory_order_relaxed);
+  refresh_locked(steady_ns());
+
+  if (options_.handle_signals) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = crash_handler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGSEGV, &sa, &g_old_segv);
+    ::sigaction(SIGABRT, &sa, &g_old_abrt);
+    g_handlers_installed.store(true, std::memory_order_relaxed);
+  }
+  g_armed.store(true, std::memory_order_release);
+  return true;
+}
+
+void FlightRecorder::disarm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  g_armed.store(false, std::memory_order_relaxed);
+  if (g_handlers_installed.exchange(false, std::memory_order_relaxed)) {
+    ::sigaction(SIGSEGV, &g_old_segv, nullptr);
+    ::sigaction(SIGABRT, &g_old_abrt, nullptr);
+  }
+  const int fd = g_crash_fd.exchange(-1, std::memory_order_relaxed);
+  g_published.store(-1, std::memory_order_relaxed);
+  if (fd >= 0) {
+    // The crash file only has content if a handler actually fired (in which
+    // case this code never runs) — an empty one is clutter, remove it.
+    struct stat st;
+    const bool empty = ::fstat(fd, &st) == 0 && st.st_size == 0;
+    ::close(fd);
+    if (empty) ::unlink(crash_path_.c_str());
+  }
+  crash_path_.clear();
+  journal_.reset();
+}
+
+bool FlightRecorder::armed() const {
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+std::string FlightRecorder::crash_file() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return crash_path_;
+}
+
+void FlightRecorder::note_interval(const std::vector<double>& raw,
+                                   std::uint64_t interval_index, bool alarm) {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  const std::uint64_t now = steady_ns();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  last_row_ = raw;  // assign() reuses capacity — no steady-state allocation
+  last_interval_ = interval_index;
+  have_row_ = true;
+  if (alarm) {
+    alarm_row_ = raw;
+    alarm_interval_ = interval_index;
+    have_alarm_row_ = true;
+    if (last_alarm_dump_ns_ == 0 ||
+        now - last_alarm_dump_ns_ >= options_.alarm_dump_gap_ns) {
+      last_alarm_dump_ns_ = now;
+      dump_locked("alarm", now);
+    }
+  }
+  if (now - last_refresh_ns_ >= options_.refresh_gap_ns) refresh_locked(now);
+}
+
+std::string FlightRecorder::dump(const std::string& reason) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!g_armed.load(std::memory_order_relaxed)) return "";
+  return dump_locked(reason, steady_ns());
+}
+
+std::string FlightRecorder::render_locked(const std::string& reason) const {
+  std::ostringstream os;
+  os << "MHMDUMP 1\n";
+  os << "reason " << reason << "\n";
+  os << "pid " << ::getpid() << "\n";
+  os << "wall_time_s " << std::time(nullptr) << "\n";
+  os << "== metrics ==\n" << prometheus_text();
+  std::size_t tail = 0;
+  std::vector<DecisionRecord> records;
+  if (journal_ != nullptr) {
+    records = journal_->snapshot();
+    tail = std::min(options_.journal_tail, records.size());
+  }
+  os << "== journal tail=" << tail << " ==\n";
+  for (std::size_t i = records.size() - tail; i < records.size(); ++i) {
+    os << decision_json(records[i]) << "\n";
+  }
+  os << "== trace ==\n" << chrome_trace_json();
+  const bool alarm_row = have_alarm_row_;
+  if (alarm_row || have_row_) {
+    const auto& row = alarm_row ? alarm_row_ : last_row_;
+    os << "== heatmap kind=" << (alarm_row ? "alarm" : "last")
+       << " interval=" << (alarm_row ? alarm_interval_ : last_interval_)
+       << " cells=" << row.size() << " ==\n";
+    os << std::setprecision(17);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i] << ((i + 1) % 16 == 0 || i + 1 == row.size() ? '\n' : ' ');
+    }
+  }
+  os << "== end ==\n";
+  return os.str();
+}
+
+void FlightRecorder::refresh_locked(std::uint64_t now_ns) {
+  const std::string text = render_locked("signal");
+  const int current = g_published.load(std::memory_order_relaxed);
+  const int idx = current == 0 ? 1 : 0;
+  const std::size_t n = std::min(text.size(), g_snapshot[idx].size());
+  std::memcpy(g_snapshot[idx].data(), text.data(), n);
+  g_snapshot_len[idx].store(n, std::memory_order_release);
+  g_published.store(idx, std::memory_order_release);
+  last_refresh_ns_ = now_ns;
+}
+
+std::string FlightRecorder::dump_locked(const std::string& reason,
+                                        std::uint64_t now_ns) {
+  (void)now_ns;
+  const std::string path = options_.dir + "/mhm-" + wall_stamp() + "-" +
+                           std::to_string(dump_counter_++) + "-" + reason +
+                           "-" + std::to_string(::getpid()) + ".mhmdump";
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return "";
+  file << render_locked(reason);
+  return file ? path : "";
+}
+
+#endif  // MHM_OBS_DISABLED
+
+}  // namespace mhm::obs

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/journal.hpp"
+#include "obs/obs.hpp"
+
+namespace mhm::obs {
+
+/// Crash-safe flight recorder.
+///
+/// Once armed, the recorder keeps a preallocated, prerendered snapshot of the
+/// process's observability state — metrics registry, decision-journal tail,
+/// span ring as Chrome trace JSON, and the raw heatmap row of the most recent
+/// (and the most recent *alarmed*) interval — and writes it out as a
+/// timestamped `*.mhmdump` file in three situations:
+///
+///  - on alarm: the detector calls note_interval(alarm=true); dumps are
+///    rate-limited (Options::alarm_dump_gap_ns) so an attack that alarms on
+///    every 10 ms interval leaves one dump per second, not hundreds;
+///  - on fatal signal (SIGSEGV/SIGABRT, via sigaction): the handler writes
+///    the prerendered snapshot to a file descriptor opened at arm() time.
+///    The signal path is async-signal-safe — write()/fsync() of a buffer
+///    published through atomics, no allocation, no formatting, no locks;
+///  - on demand: dump("manual"), also reachable over HTTP as /flush.
+///
+/// The prerendered snapshot is double-buffered: refreshes render into the
+/// unpublished buffer and then atomically publish its index, so a signal
+/// arriving mid-refresh always sees the previous complete snapshot.
+/// Refreshes ride on note_interval() and are rate-limited
+/// (Options::refresh_gap_ns); an unarmed recorder costs one relaxed atomic
+/// load per interval. The file layout is documented in docs/FILE_FORMATS.md
+/// ("Flight-recorder dump") and pretty-printed by `mhm_tool dump`.
+class FlightRecorder {
+ public:
+  struct Options {
+    std::string dir = ".";          ///< Where *.mhmdump files land.
+    std::size_t journal_tail = 64;  ///< Decision records per dump.
+    std::size_t buffer_bytes = 1 << 20;  ///< Crash-snapshot cap (truncates).
+    std::uint64_t alarm_dump_gap_ns = 1'000'000'000;  ///< Min gap on alarms.
+    std::uint64_t refresh_gap_ns = 250'000'000;  ///< Crash-snapshot cadence.
+    bool handle_signals = true;  ///< Install SIGSEGV/SIGABRT handlers.
+  };
+
+  /// The process-wide recorder (the signal handler needs a single target).
+  static FlightRecorder& instance();
+
+  /// Preallocate buffers, open the crash file, render an initial snapshot
+  /// and (optionally) install the signal handlers. `journal` may be null
+  /// (dumps then carry an empty journal section). Returns false when
+  /// already armed or when the crash file cannot be created.
+  bool arm(const Options& options,
+           std::shared_ptr<const DecisionJournal> journal);
+
+  /// Restore previous signal handlers, close the crash file and remove it
+  /// if no signal fired. Safe to call when not armed.
+  void disarm();
+
+  bool armed() const;
+
+  /// Per-interval hook (detector): remembers the raw row, refreshes the
+  /// crash snapshot and — for alarms — writes a rate-limited dump. No-op
+  /// while unarmed.
+  void note_interval(const std::vector<double>& raw,
+                     std::uint64_t interval_index, bool alarm);
+
+  /// Render a fresh snapshot and write it to a new timestamped file.
+  /// Returns the path, or "" when unarmed / the file cannot be written.
+  std::string dump(const std::string& reason);
+
+  /// Path the signal handler writes to (empty while unarmed).
+  std::string crash_file() const;
+
+ private:
+  FlightRecorder() = default;
+
+  std::string render_locked(const std::string& reason) const;
+  void refresh_locked(std::uint64_t now_ns);
+  std::string dump_locked(const std::string& reason, std::uint64_t now_ns);
+
+  mutable std::mutex mu_;
+  Options options_;
+  std::shared_ptr<const DecisionJournal> journal_;
+  std::vector<double> last_row_;
+  std::uint64_t last_interval_ = 0;
+  bool have_row_ = false;
+  std::vector<double> alarm_row_;
+  std::uint64_t alarm_interval_ = 0;
+  bool have_alarm_row_ = false;
+  std::uint64_t last_refresh_ns_ = 0;
+  std::uint64_t last_alarm_dump_ns_ = 0;
+  std::uint64_t dump_counter_ = 0;
+  std::string crash_path_;
+};
+
+}  // namespace mhm::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -18,6 +19,33 @@ std::atomic<bool>& enabled_flag() {
 }
 
 }  // namespace detail
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// 0 = no analysis yet.
+std::atomic<std::uint64_t>& last_analysis_ns() {
+  static std::atomic<std::uint64_t> ns{0};
+  return ns;
+}
+
+}  // namespace
+
+void mark_analysis() {
+  last_analysis_ns().store(steady_ns(), std::memory_order_relaxed);
+}
+
+double last_analysis_age_seconds() {
+  const std::uint64_t last = last_analysis_ns().load(std::memory_order_relaxed);
+  if (last == 0) return -1.0;
+  return static_cast<double>(steady_ns() - last) * 1e-9;
+}
 #endif
 
 std::size_t thread_shard() {

@@ -19,6 +19,8 @@ namespace mhm::obs {
 
 constexpr bool enabled() { return false; }
 inline void set_enabled(bool) {}
+inline void mark_analysis() {}
+inline double last_analysis_age_seconds() { return -1.0; }
 
 #else
 
@@ -34,6 +36,13 @@ inline bool enabled() {
 inline void set_enabled(bool on) {
   detail::enabled_flag().store(on, std::memory_order_relaxed);
 }
+
+/// Liveness heartbeat: the detector stamps the monotonic clock after every
+/// analyzed interval; /healthz reports the age of the newest stamp so an
+/// external agent can tell "process up" from "process up and analyzing".
+void mark_analysis();
+/// Seconds since the last mark_analysis() (-1 before the first one).
+double last_analysis_age_seconds();
 
 #endif
 

@@ -1,0 +1,382 @@
+#include "obs/server.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+
+#if !defined(MHM_OBS_DISABLED)
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace mhm::obs {
+
+#if defined(MHM_OBS_DISABLED)
+
+// Compiled-out build: the server never binds; callers need no #ifs.
+struct MonitorServer::Impl {};
+MonitorServer::MonitorServer() = default;
+MonitorServer::~MonitorServer() = default;
+bool MonitorServer::start(const Options&) { return false; }
+void MonitorServer::stop() {}
+bool MonitorServer::running() const { return false; }
+std::uint16_t MonitorServer::port() const { return 0; }
+void MonitorServer::set_journal(std::shared_ptr<const DecisionJournal>) {}
+MonitorServer& MonitorServer::instance() {
+  static MonitorServer* server = new MonitorServer();
+  return *server;
+}
+bool MonitorServer::ensure_env_server(
+    std::shared_ptr<const DecisionJournal>) {
+  return false;
+}
+
+#else
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Registry value by dotted name (0 when absent) — /status reads the few
+/// headline series out of one deterministic snapshot.
+double value_of(const std::vector<MetricSnapshot>& snap,
+                const std::string& name) {
+  for (const auto& m : snap) {
+    if (m.name == name) return m.value;
+  }
+  return 0.0;
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, int code, const char* status,
+                   const char* content_type, const std::string& body) {
+  char head[256];
+  const int n = std::snprintf(
+      head, sizeof head,
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      code, status, content_type, body.size());
+  send_all(fd, head, static_cast<std::size_t>(n));
+  send_all(fd, body.data(), body.size());
+}
+
+/// `tail` query parameter of "/journal?tail=N" (fallback when absent or
+/// malformed).
+std::size_t tail_param(const std::string& query, std::size_t fallback) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(pos, end - pos);
+    if (pair.rfind("tail=", 0) == 0) {
+      char* endp = nullptr;
+      const unsigned long long v =
+          std::strtoull(pair.c_str() + 5, &endp, 10);
+      if (endp != nullptr && *endp == '\0' && endp != pair.c_str() + 5) {
+        return static_cast<std::size_t>(v);
+      }
+      return fallback;
+    }
+    pos = end + 1;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+struct MonitorServer::Impl {
+  Options options;
+  int listen_fd = -1;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> running{false};
+  std::atomic<std::uint16_t> port{0};
+  std::uint64_t start_ns = 0;
+  std::mutex journal_mu;
+  std::shared_ptr<const DecisionJournal> journal;
+
+  Counter& requests = Registry::instance().counter(
+      "obs.server.requests", "HTTP requests handled by the monitor endpoint");
+
+  void serve_loop();
+  void handle_connection(int fd);
+  void respond(int fd, const std::string& target);
+};
+
+void MonitorServer::Impl::serve_loop() {
+  while (!stop.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void MonitorServer::Impl::handle_connection(int fd) {
+  struct timeval tv;
+  tv.tv_sec = 2;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos) {
+    if (request.size() >= options.max_request_bytes) {
+      send_response(fd, 431, "Request Header Fields Too Large", "text/plain",
+                    "request too large\n");
+      return;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return;  // Client went away or stalled past the timeout.
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    send_response(fd, 400, "Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    send_response(fd, 405, "Method Not Allowed", "text/plain",
+                  "only GET is supported\n");
+    return;
+  }
+  requests.add();
+  respond(fd, target);
+}
+
+void MonitorServer::Impl::respond(int fd, const std::string& target) {
+  const std::size_t qmark = target.find('?');
+  const std::string path = target.substr(0, qmark);
+  const std::string query =
+      qmark == std::string::npos ? "" : target.substr(qmark + 1);
+
+  if (path == "/metrics") {
+    send_response(fd, 200, "OK", "text/plain; version=0.0.4",
+                  prometheus_text());
+    return;
+  }
+  if (path == "/healthz") {
+    std::ostringstream os;
+    os << "{\"status\":\"ok\",\"uptime_seconds\":"
+       << fmt_double(static_cast<double>(steady_ns() - start_ns) * 1e-9)
+       << ",\"last_analysis_age_seconds\":"
+       << fmt_double(last_analysis_age_seconds()) << "}\n";
+    send_response(fd, 200, "OK", "application/json", os.str());
+    return;
+  }
+  if (path == "/status") {
+    const auto snap = Registry::instance().snapshot();
+    std::size_t journal_size = 0;
+    std::uint64_t journal_total = 0;
+    {
+      std::lock_guard<std::mutex> lk(journal_mu);
+      if (journal != nullptr) {
+        journal_size = journal->size();
+        journal_total = journal->total_appended();
+      }
+    }
+    std::ostringstream os;
+    os << "{\"uptime_seconds\":"
+       << fmt_double(static_cast<double>(steady_ns() - start_ns) * 1e-9)
+       << ",\"last_analysis_age_seconds\":"
+       << fmt_double(last_analysis_age_seconds())
+       << ",\"intervals_analyzed\":"
+       << fmt_double(value_of(snap, "detector.intervals_analyzed"))
+       << ",\"alarms\":" << fmt_double(value_of(snap, "detector.alarms"))
+       << ",\"scenarios_run\":"
+       << fmt_double(value_of(snap, "pipeline.scenarios_run"))
+       << ",\"scenarios_completed\":"
+       << fmt_double(value_of(snap, "pipeline.scenarios_completed"))
+       << ",\"gmm_log_likelihood\":"
+       << fmt_double(value_of(snap, "core.gmm.log_likelihood"))
+       << ",\"gmm_em_iterations\":"
+       << fmt_double(value_of(snap, "core.gmm.em_iterations"))
+       << ",\"spans_recorded\":"
+       << SpanBuffer::instance().total_recorded()
+       << ",\"journal_size\":" << journal_size
+       << ",\"journal_total\":" << journal_total << "}\n";
+    send_response(fd, 200, "OK", "application/json", os.str());
+    return;
+  }
+  if (path == "/journal") {
+    std::shared_ptr<const DecisionJournal> j;
+    {
+      std::lock_guard<std::mutex> lk(journal_mu);
+      j = journal;
+    }
+    if (j == nullptr) {
+      send_response(fd, 404, "Not Found", "text/plain",
+                    "no journal attached\n");
+      return;
+    }
+    const std::size_t tail = tail_param(query, 100);
+    const auto records = j->snapshot();
+    const std::size_t first =
+        records.size() > tail ? records.size() - tail : 0;
+    std::ostringstream os;
+    for (std::size_t i = first; i < records.size(); ++i) {
+      os << decision_json(records[i]) << "\n";
+    }
+    send_response(fd, 200, "OK", "application/x-ndjson", os.str());
+    return;
+  }
+  if (path == "/trace") {
+    send_response(fd, 200, "OK", "application/json", chrome_trace_json());
+    return;
+  }
+  if (path == "/flush") {
+    const std::string dumped = FlightRecorder::instance().dump("flush");
+    if (dumped.empty()) {
+      send_response(fd, 503, "Service Unavailable", "text/plain",
+                    "flight recorder not armed\n");
+      return;
+    }
+    send_response(fd, 200, "OK", "application/json",
+                  "{\"path\":\"" + dumped + "\"}\n");
+    return;
+  }
+  send_response(fd, 404, "Not Found", "text/plain", "not found\n");
+}
+
+MonitorServer::MonitorServer() : impl_(std::make_unique<Impl>()) {}
+
+MonitorServer::~MonitorServer() { stop(); }
+
+bool MonitorServer::start(const Options& options) {
+  if (!enabled()) return false;  // MHM_OBS=0: never open a socket.
+  Impl& impl = *impl_;
+  if (impl.running.load(std::memory_order_relaxed)) return false;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // Loopback only.
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    ::close(fd);
+    return false;
+  }
+
+  impl.options = options;
+  impl.listen_fd = fd;
+  impl.start_ns = steady_ns();
+  impl.stop.store(false, std::memory_order_relaxed);
+  impl.port.store(ntohs(addr.sin_port), std::memory_order_relaxed);
+  impl.thread = std::thread([this] { impl_->serve_loop(); });
+  impl.running.store(true, std::memory_order_release);
+  return true;
+}
+
+void MonitorServer::stop() {
+  Impl& impl = *impl_;
+  if (!impl.running.load(std::memory_order_relaxed)) return;
+  impl.stop.store(true, std::memory_order_relaxed);
+  if (impl.thread.joinable()) impl.thread.join();
+  ::close(impl.listen_fd);
+  impl.listen_fd = -1;
+  impl.port.store(0, std::memory_order_relaxed);
+  impl.running.store(false, std::memory_order_relaxed);
+}
+
+bool MonitorServer::running() const {
+  return impl_->running.load(std::memory_order_relaxed);
+}
+
+std::uint16_t MonitorServer::port() const {
+  return impl_->port.load(std::memory_order_relaxed);
+}
+
+void MonitorServer::set_journal(
+    std::shared_ptr<const DecisionJournal> journal) {
+  std::lock_guard<std::mutex> lk(impl_->journal_mu);
+  impl_->journal = std::move(journal);
+}
+
+MonitorServer& MonitorServer::instance() {
+  static MonitorServer* server =
+      new MonitorServer();  // Leaked: outlives static dtors.
+  return *server;
+}
+
+bool MonitorServer::ensure_env_server(
+    std::shared_ptr<const DecisionJournal> journal) {
+  MonitorServer& server = instance();
+  if (journal != nullptr) server.set_journal(std::move(journal));
+  if (server.running()) return true;
+  const char* env = std::getenv("MHM_OBS_PORT");
+  if (env == nullptr || env[0] == '\0') return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == nullptr || *end != '\0' || v == 0 || v > 65535) return false;
+  Options options;
+  options.port = static_cast<std::uint16_t>(v);
+  if (!server.start(options)) return false;
+  std::fprintf(stderr, "[mhm] monitoring endpoint on http://127.0.0.1:%u\n",
+               static_cast<unsigned>(server.port()));
+  return true;
+}
+
+#endif  // MHM_OBS_DISABLED
+
+}  // namespace mhm::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/journal.hpp"
+#include "obs/obs.hpp"
+
+namespace mhm::obs {
+
+/// Dependency-free HTTP/1.1 monitoring endpoint (POSIX sockets, loopback
+/// only, single accept-and-serve thread, bounded request size, one request
+/// per connection). Off by default; long-running pipelines start it when
+/// MHM_OBS_PORT is set, `mhm_tool serve` starts it explicitly.
+///
+/// Routes (all GET):
+///   /metrics          Prometheus 0.0.4 text of the process registry
+///   /healthz          JSON liveness: uptime + last-analysis age
+///   /status           JSON snapshot: intervals/alarms/scenario progress/LL
+///   /journal?tail=N   last N decision records as JSON lines (default 100)
+///   /trace            span ring as Chrome trace_event JSON (Perfetto)
+///   /flush            force a flight-recorder dump, returns its path
+///
+/// Handling runs entirely on the server thread and only reads state behind
+/// the obs layer's own locks/atomics, so an attached scraper never touches
+/// the pipeline's hot path — the "serving enabled but no client" overhead
+/// contract (<1%) is measured by bench/perf_pipeline.cpp.
+class MonitorServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = kernel-assigned ephemeral port.
+    std::size_t max_request_bytes = 8192;  ///< Larger requests get 431.
+  };
+
+  MonitorServer();
+  ~MonitorServer();
+
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  /// Bind 127.0.0.1:port and start the serve thread. Returns false when
+  /// already running, the bind fails, or the build compiled obs out.
+  bool start(const Options& options);
+  void stop();
+  bool running() const;
+  /// Bound port (0 when not running). With Options::port == 0 this is the
+  /// kernel-assigned one — tests and `mhm_tool serve` print it.
+  std::uint16_t port() const;
+
+  /// Journal served by /journal; may be set or swapped while running.
+  /// Null detaches (the endpoint then answers 404).
+  void set_journal(std::shared_ptr<const DecisionJournal> journal);
+
+  /// The process-wide server used by the MHM_OBS_PORT autostart.
+  static MonitorServer& instance();
+
+  /// Start instance() on MHM_OBS_PORT when the variable names a valid port
+  /// and the server is not yet running; attaches `journal` either way.
+  /// Returns true when the server is (now) running. The pipeline calls this
+  /// from its long-running entry points, making any run scrapeable without
+  /// code changes.
+  static bool ensure_env_server(
+      std::shared_ptr<const DecisionJournal> journal = nullptr);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mhm::obs

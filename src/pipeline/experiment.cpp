@@ -4,12 +4,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "obs/metrics.hpp"
+#include "obs/server.hpp"
 #include "obs/trace.hpp"
 
 namespace mhm::pipeline {
@@ -22,6 +25,46 @@ namespace {
 bool progress_heartbeat_enabled() {
   if (const char* env = std::getenv("MHM_PROGRESS")) return env[0] == '1';
   return isatty(fileno(stderr)) != 0;
+}
+
+/// Serialized, monotonically rate-limited stderr heartbeat. Parallel
+/// run_scenarios workers report through one writer: the line is rendered
+/// into a local buffer and emitted with a single fwrite under the same lock
+/// that owns the rate state, so concurrent workers can neither interleave
+/// partial lines nor double-emit inside one rate window. The final line
+/// (done == total) always goes out so the log records completion.
+class ProgressWriter {
+ public:
+  void emit(std::size_t done, std::size_t total, const char* scenario) {
+    const std::uint64_t now_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    std::lock_guard<std::mutex> lk(mu_);
+    if (done < total && last_emit_ns_ != 0 &&
+        now_ns - last_emit_ns_ < kMinGapNs) {
+      return;
+    }
+    last_emit_ns_ = now_ns;
+    char line[192];
+    const int n = std::snprintf(line, sizeof line,
+                                "[mhm] scenarios %zu/%zu (%s done)\n", done,
+                                total, scenario);
+    if (n > 0) {
+      std::fwrite(line, 1, std::min(static_cast<std::size_t>(n), sizeof line),
+                  stderr);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kMinGapNs = 100'000'000;  // 10 lines/s cap.
+  std::mutex mu_;
+  std::uint64_t last_emit_ns_ = 0;
+};
+
+ProgressWriter& progress_writer() {
+  static ProgressWriter w;
+  return w;
 }
 
 struct PipelineMetrics {
@@ -161,6 +204,10 @@ std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
   // are independent and the batch result equals calling run_scenario() in a
   // loop. The shared detector is safe to score from several threads.
   std::vector<ScenarioRun> results(specs.size());
+  // Long-running entry point: expose the process over MHM_OBS_PORT (no-op
+  // when unset or already serving) so any batch is scrapeable mid-flight.
+  obs::MonitorServer::ensure_env_server(
+      detector != nullptr ? detector->journal_ptr() : nullptr);
   PipelineMetrics& metrics = pipeline_metrics();
   metrics.scenarios_completed.set(0.0);
   const bool heartbeat = progress_heartbeat_enabled();
@@ -184,8 +231,8 @@ std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
                               results[s].log10_densities.end()));
       }
       if (heartbeat) {
-        std::fprintf(stderr, "[mhm] scenarios %zu/%zu (%s done)\n", done,
-                     specs.size(), results[s].scenario.c_str());
+        progress_writer().emit(done, specs.size(),
+                               results[s].scenario.c_str());
       }
     }
   });
@@ -196,6 +243,7 @@ TrainedPipeline train_pipeline(const sim::SystemConfig& config,
                                const ProfilingPlan& plan,
                                const AnomalyDetector::Options& options) {
   OBS_SPAN("pipeline.train");
+  obs::MonitorServer::ensure_env_server();
   TrainedPipeline out;
   {
     OBS_SPAN("pipeline.train.profile_training");

@@ -28,6 +28,7 @@ struct EnabledGuard {
 TEST(Registry, CounterFoldIsExactAcrossThreadCounts) {
   EnabledGuard guard;
   obs::set_enabled(true);
+  if (!obs::enabled()) GTEST_SKIP() << "obs layer compiled out";
   // The same logical workload split over 1, 2 and 8 threads must fold to
   // the same total: shards are integers, so the fold is exact no matter
   // which thread landed on which slot.
@@ -49,6 +50,7 @@ TEST(Registry, CounterFoldIsExactAcrossThreadCounts) {
 TEST(Registry, HistogramFoldIsDeterministic) {
   EnabledGuard guard;
   obs::set_enabled(true);
+  if (!obs::enabled()) GTEST_SKIP() << "obs layer compiled out";
   obs::Histogram& h = obs::Registry::instance().histogram(
       "test.fold.histogram", {1.0, 10.0, 100.0});
   for (const std::size_t threads : {1u, 2u, 8u}) {
@@ -104,6 +106,7 @@ TEST(Registry, SnapshotIsLexicographicallyOrdered) {
 TEST(Spans, NestingRecordsParentIds) {
   EnabledGuard guard;
   obs::set_enabled(true);
+  if (!obs::enabled()) GTEST_SKIP() << "obs layer compiled out";
   obs::SpanBuffer::instance().clear();
   std::uint64_t outer_id = 0;
   std::uint64_t inner_id = 0;
@@ -131,6 +134,7 @@ TEST(Spans, NestingRecordsParentIds) {
 TEST(Spans, RingWrapsAroundKeepingNewest) {
   EnabledGuard guard;
   obs::set_enabled(true);
+  if (!obs::enabled()) GTEST_SKIP() << "obs layer compiled out";
   obs::SpanBuffer& buffer = obs::SpanBuffer::instance();
   const std::size_t saved_capacity = buffer.capacity();
   buffer.set_capacity(8);
@@ -151,6 +155,7 @@ TEST(Spans, RingWrapsAroundKeepingNewest) {
 TEST(Journal, CapturesInjectedAttackAlarms) {
   EnabledGuard guard;
   obs::set_enabled(true);
+  if (!obs::enabled()) GTEST_SKIP() << "obs layer compiled out";
   // Fast-scale end-to-end: train on normal behaviour, run the shellcode
   // scenario, and require the journal to explain the alarms the detector
   // returned — interval, density vs threshold, and deviating cells.
@@ -225,6 +230,7 @@ TEST(KillSwitch, DisabledLayerRecordsNothing) {
 TEST(Exporters, PrometheusTextCarriesFoldedValues) {
   EnabledGuard guard;
   obs::set_enabled(true);
+  if (!obs::enabled()) GTEST_SKIP() << "obs layer compiled out";
   obs::Counter& c = obs::Registry::instance().counter(
       "test.export.counter", "help text");
   c.reset();
@@ -240,6 +246,7 @@ TEST(Exporters, PrometheusTextCarriesFoldedValues) {
 TEST(Exporters, JournalJsonLinesRoundTripFields) {
   EnabledGuard guard;
   obs::set_enabled(true);
+  if (!obs::enabled()) GTEST_SKIP() << "obs layer compiled out";
   obs::DecisionJournal journal(4);
   obs::DecisionRecord rec;
   rec.interval_index = 7;

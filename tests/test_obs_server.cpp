@@ -1,0 +1,421 @@
+// The externally visible observability surface: the Chrome trace exporter,
+// the loopback HTTP monitoring endpoint, and the flight recorder's dump
+// files. Everything here drives the same code paths an operator would —
+// real sockets, real files — at test scale.
+
+#include "obs/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mhm::obs {
+namespace {
+
+/// Minimal recursive-descent JSON validity checker — enough to assert the
+/// exporters emit well-formed documents without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    for (++pos_; pos_ < s_.size(); ++pos_) {
+      if (s_[pos_] == '\\') { ++pos_; continue; }
+      if (s_[pos_] == '"') { ++pos_; return true; }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Enables obs for the test body and restores the previous state after.
+class EnabledGuard {
+ public:
+  EnabledGuard() : was_(enabled()) { set_enabled(true); }
+  ~EnabledGuard() { set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+SpanRecord make_span(std::uint64_t id, std::uint64_t parent,
+                     std::uint64_t start_ns, std::uint64_t duration_ns,
+                     const char* name, std::size_t shard = 0) {
+  SpanRecord rec;
+  rec.id = id;
+  rec.parent_id = parent;
+  rec.name = name;
+  rec.thread_shard = shard;
+  rec.start_ns = start_ns;
+  rec.duration_ns = duration_ns;
+  return rec;
+}
+
+TEST(ChromeTrace, EmptyBufferIsValidJson) {
+  if (!enabled()) GTEST_SKIP() << "obs layer compiled out";
+  EnabledGuard guard;
+  SpanBuffer::instance().clear();
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTrace, CompleteEventsCarryMicrosecondTimes) {
+  EnabledGuard guard;
+  if (!enabled()) GTEST_SKIP() << "obs layer compiled out";
+  SpanBuffer& buf = SpanBuffer::instance();
+  buf.clear();
+  // Parent opens at 10µs for 5µs; the child nests inside it. The exporter
+  // rebases on the earliest start, so the parent lands at ts=0.
+  buf.record(make_span(1, 0, 10'000, 5'000, "parent"));
+  buf.record(make_span(2, 1, 11'500, 1'000, "child"));
+
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"parent\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5.000"), std::string::npos);
+  // Child: 1.5µs after the epoch, 1µs long, nested under span id 1.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"id\":2,\"parent\":1}"), std::string::npos);
+  // Perfetto needs the process-name metadata event.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  buf.clear();
+}
+
+TEST(ChromeTrace, RealSpansNestByParentId) {
+  EnabledGuard guard;
+  if (!enabled()) GTEST_SKIP() << "obs layer compiled out";
+  SpanBuffer& buf = SpanBuffer::instance();
+  buf.clear();
+  {
+    SpanScope outer("outer_scope");
+    SpanScope inner("inner_scope");
+    (void)outer;
+    (void)inner;
+  }
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  const auto records = buf.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  // The ring holds [inner, outer] completion order; the inner span must
+  // point at the outer one.
+  EXPECT_EQ(records[0].parent_id, records[1].id);
+  std::ostringstream want;
+  want << "\"args\":{\"id\":" << records[0].id << ",\"parent\":"
+       << records[0].parent_id << "}";
+  EXPECT_NE(json.find(want.str()), std::string::npos) << json;
+  buf.clear();
+}
+
+/// Blocking loopback GET; returns the full response (headers + body).
+std::string http_get(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get_path(std::uint16_t port, const std::string& path) {
+  return http_get(port, "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                        "Connection: close\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const auto split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+class MonitorServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    if (!enabled()) GTEST_SKIP() << "obs layer compiled out";
+    MonitorServer::Options opts;  // port 0: kernel picks a free one
+    ASSERT_TRUE(server_.start(opts));
+    ASSERT_TRUE(server_.running());
+    ASSERT_NE(server_.port(), 0);
+  }
+  void TearDown() override { server_.stop(); }
+
+  MonitorServer server_;
+};
+
+TEST_F(MonitorServerTest, MetricsServesPrometheusText) {
+  Registry::instance().counter("test.server.hits", "test counter").add(3);
+  const std::string response = get_path(server_.port(), "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("# TYPE mhm_test_server_hits counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("mhm_test_server_hits 3"), std::string::npos);
+}
+
+TEST_F(MonitorServerTest, HealthzReportsLivenessJson) {
+  const std::string response = get_path(server_.port(), "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(body.find("\"last_analysis_age_seconds\""), std::string::npos);
+}
+
+TEST_F(MonitorServerTest, StatusSnapshotIsValidJson) {
+  const std::string body = body_of(get_path(server_.port(), "/status"));
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"intervals_analyzed\""), std::string::npos);
+  EXPECT_NE(body.find("\"alarms\""), std::string::npos);
+}
+
+TEST_F(MonitorServerTest, JournalServesTailAsJsonLines) {
+  auto journal = std::make_shared<DecisionJournal>(16);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    DecisionRecord rec;
+    rec.interval_index = i;
+    rec.log10_density = -20.0 - static_cast<double>(i);
+    rec.threshold = -30.0;
+    rec.alarm = i == 7;
+    journal->append_swap(rec);
+  }
+  server_.set_journal(journal);
+
+  const std::string response = get_path(server_.port(), "/journal?tail=3");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  const std::string body = body_of(response);
+  std::istringstream lines(body);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+  // The tail must end with the newest record.
+  EXPECT_NE(body.find("\"interval\":7"), std::string::npos);
+  EXPECT_NE(body.find("\"alarm\":true"), std::string::npos);
+
+  // Detaching the journal turns the route into a 404.
+  server_.set_journal(nullptr);
+  EXPECT_NE(get_path(server_.port(), "/journal").find("404"),
+            std::string::npos);
+}
+
+TEST_F(MonitorServerTest, TraceServesChromeTraceJson) {
+  SpanBuffer::instance().clear();
+  SpanBuffer::instance().record(make_span(7, 0, 1'000, 2'000, "served_span"));
+  const std::string body = body_of(get_path(server_.port(), "/trace"));
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"served_span\""), std::string::npos);
+  SpanBuffer::instance().clear();
+}
+
+TEST_F(MonitorServerTest, RejectsUnknownRoutesMethodsAndOversizedRequests) {
+  EXPECT_NE(get_path(server_.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_NE(http_get(server_.port(),
+                     "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+  // 16 KB of headers blows the 8 KB request bound.
+  const std::string huge = "GET /metrics HTTP/1.1\r\nX-Pad: " +
+                           std::string(16 * 1024, 'a') + "\r\n\r\n";
+  EXPECT_NE(http_get(server_.port(), huge).find("431"), std::string::npos);
+}
+
+TEST_F(MonitorServerTest, SecondServerOnSamePortFailsCleanly) {
+  MonitorServer second;
+  MonitorServer::Options opts;
+  opts.port = server_.port();
+  EXPECT_FALSE(second.start(opts));
+  EXPECT_FALSE(second.running());
+}
+
+TEST(FlightRecorderTest, DumpWritesParseableFile) {
+  EnabledGuard guard;
+  if (!enabled()) GTEST_SKIP() << "obs layer compiled out";
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string dir = std::string(::testing::TempDir()) + "mhm_" +
+                          info->name();
+  std::remove(dir.c_str());
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST, true);
+
+  auto journal = std::make_shared<DecisionJournal>(8);
+  DecisionRecord rec;
+  rec.interval_index = 3;
+  rec.alarm = true;
+  journal->append_swap(rec);
+
+  FlightRecorder::Options opts;
+  opts.dir = dir;
+  opts.handle_signals = false;  // Leave gtest's death-test handlers alone.
+  ASSERT_TRUE(FlightRecorder::instance().arm(opts, journal));
+  FlightRecorder::instance().note_interval({1.0, 2.0, 3.0}, 41, false);
+
+  const std::string path = FlightRecorder::instance().dump("unit_test");
+  ASSERT_FALSE(path.empty());
+  FlightRecorder::instance().disarm();
+  EXPECT_FALSE(FlightRecorder::instance().armed());
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(file, line));
+  EXPECT_EQ(line, "MHMDUMP 1");
+  std::stringstream rest;
+  rest << file.rdbuf();
+  const std::string text = rest.str();
+  EXPECT_NE(text.find("reason unit_test"), std::string::npos);
+  EXPECT_NE(text.find("== metrics =="), std::string::npos);
+  EXPECT_NE(text.find("== journal tail=1 =="), std::string::npos);
+  EXPECT_NE(text.find("\"interval\":3"), std::string::npos);
+  EXPECT_NE(text.find("== heatmap kind=last interval=41 cells=3 =="),
+            std::string::npos);
+  EXPECT_NE(text.find("== end =="), std::string::npos);
+}
+
+TEST(FlightRecorderTest, SecondArmFailsUntilDisarmed) {
+  EnabledGuard guard;
+  if (!enabled()) GTEST_SKIP() << "obs layer compiled out";
+  FlightRecorder::Options opts;
+  opts.dir = ::testing::TempDir();
+  opts.handle_signals = false;
+  ASSERT_TRUE(FlightRecorder::instance().arm(opts, nullptr));
+  EXPECT_FALSE(FlightRecorder::instance().arm(opts, nullptr));
+  FlightRecorder::instance().disarm();
+  EXPECT_TRUE(FlightRecorder::instance().arm(opts, nullptr));
+  FlightRecorder::instance().disarm();
+}
+
+TEST(MonitorServerDisabled, StartFailsWhenObsOff) {
+  const bool was = enabled();
+  set_enabled(false);
+  // Runtime-disabled (or compiled out): the server refuses to start, so a
+  // pipeline with MHM_OBS=0 never opens a socket.
+  MonitorServer server;
+  EXPECT_FALSE(server.start(MonitorServer::Options{}));
+  EXPECT_FALSE(server.running());
+  set_enabled(was);
+}
+
+}  // namespace
+}  // namespace mhm::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/stats.hpp"
 #include "common/rng.hpp"
 
 namespace mhm {

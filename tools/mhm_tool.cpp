@@ -45,14 +45,31 @@
 //       and explain every alarm from the decision journal: interval,
 //       density vs. threshold, and the cells that deviated most from the
 //       training baseline.
+//
+//   mhm_tool serve   [--port P] [--scenarios N] [--attack name]
+//                    [--trigger-ms T] [--duration-ms D] [--seed X]
+//                    [--flight-dir DIR] [--linger-ms L]
+//       Train a fast-scale detector, arm the flight recorder, start the
+//       HTTP monitoring endpoint on 127.0.0.1:P (0 = ephemeral, printed
+//       at startup) and replay N attack scenarios against it so /metrics,
+//       /status, /journal and /trace serve live data. --linger-ms keeps
+//       the endpoint up after the replays for external scrapers.
+//
+//   mhm_tool dump    --in file.mhmdump
+//       Pretty-print a flight-recorder dump: why and when it was written,
+//       headline metrics, journal alarms, and the captured heatmap row.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "attacks/attacks.hpp"
 #include "common/ascii_plot.hpp"
@@ -62,6 +79,8 @@
 #include "hw/address_trace.hpp"
 #include "hw/memometer.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/server.hpp"
 #include "pipeline/experiment.hpp"
 
 namespace {
@@ -465,10 +484,202 @@ int cmd_journal(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  if (!obs::enabled()) {
+    std::fprintf(stderr,
+                 "serve: observability is disabled (MHM_OBS=0 or compiled "
+                 "out); nothing to serve\n");
+    return 1;
+  }
+  const sim::SystemConfig cfg = pipeline::fast_test_config(1);
+  std::printf("training fast-scale detector (L = %zu cells)...\n",
+              cfg.monitor.cell_count());
+  std::fflush(stdout);
+  pipeline::TrainedPipeline pipe = pipeline::train_pipeline(
+      cfg, pipeline::fast_test_plan(), pipeline::fast_test_detector_options());
+
+  obs::FlightRecorder::Options fr_opts;
+  fr_opts.dir = args.get("flight-dir", ".");
+  if (!obs::FlightRecorder::instance().arm(fr_opts,
+                                           pipe.detector->journal_ptr())) {
+    std::fprintf(stderr, "serve: cannot arm flight recorder in %s\n",
+                 fr_opts.dir.c_str());
+    return 1;
+  }
+
+  obs::MonitorServer server;
+  obs::MonitorServer::Options srv_opts;
+  srv_opts.port = static_cast<std::uint16_t>(args.get_u64("port", 0));
+  if (!server.start(srv_opts)) {
+    std::fprintf(stderr, "serve: cannot bind 127.0.0.1:%llu\n",
+                 static_cast<unsigned long long>(args.get_u64("port", 0)));
+    obs::FlightRecorder::instance().disarm();
+    return 1;
+  }
+  server.set_journal(pipe.detector->journal_ptr());
+  std::printf("serving http://127.0.0.1:%u (metrics, healthz, status, "
+              "journal, trace, flush)\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  // Replay scenarios against the live endpoint so every route has data.
+  const std::string attack_name = args.get("attack", "shellcode");
+  const SimTime duration = args.get_u64("duration-ms", 2000) * kMillisecond;
+  const SimTime trigger = args.get_u64("trigger-ms", 1000) * kMillisecond;
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::uint64_t scenarios = args.get_u64("scenarios", 3);
+  std::size_t alarms = 0;
+  for (std::uint64_t s = 0; s < scenarios; ++s) {
+    std::unique_ptr<attacks::AttackScenario> attack;
+    // Alternate normal / attacked replays: the journal and the flight
+    // recorder then hold both quiet intervals and alarms.
+    if (s % 2 == 1 && attack_name != "normal") {
+      attack = attacks::make_scenario(attack_name);
+    }
+    pipeline::ScenarioRun run = pipeline::run_scenario(
+        cfg, attack.get(), trigger, duration, &pipe.det(), seed + s);
+    for (const auto& v : run.verdicts) alarms += v.anomalous;
+    std::printf("replay %llu/%llu: '%s', %zu intervals, %zu alarms so far\n",
+                static_cast<unsigned long long>(s + 1),
+                static_cast<unsigned long long>(scenarios),
+                run.scenario.c_str(), run.verdicts.size(), alarms);
+    std::fflush(stdout);
+  }
+
+  if (const std::uint64_t linger_ms = args.get_u64("linger-ms", 0)) {
+    std::printf("lingering %llu ms for external scrapers...\n",
+                static_cast<unsigned long long>(linger_ms));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+
+  const std::string final_dump =
+      obs::FlightRecorder::instance().dump("shutdown");
+  server.stop();
+  obs::FlightRecorder::instance().disarm();
+  std::printf("served %llu replays, %zu alarms; final dump: %s\n",
+              static_cast<unsigned long long>(scenarios), alarms,
+              final_dump.empty() ? "(none)" : final_dump.c_str());
+  return 0;
+}
+
+int cmd_dump(const Args& args) {
+  std::string in_path;
+  if (!args.require("in", &in_path)) {
+    std::fprintf(stderr, "dump: --in <file.mhmdump> is required\n");
+    return 1;
+  }
+  std::ifstream file(in_path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "dump: cannot open %s\n", in_path.c_str());
+    return 1;
+  }
+  std::string line;
+  if (!std::getline(file, line) || line != "MHMDUMP 1") {
+    std::fprintf(stderr, "dump: %s is not an MHMDUMP version 1 file\n",
+                 in_path.c_str());
+    return 1;
+  }
+  std::printf("flight-recorder dump: %s\n", in_path.c_str());
+
+  // Header key/value lines run until the first "== section ==" marker.
+  std::string section;
+  while (std::getline(file, line)) {
+    if (line.rfind("== ", 0) == 0) {
+      section = line;
+      break;
+    }
+    const auto space = line.find(' ');
+    if (space == std::string::npos) continue;
+    std::printf("  %-12s %s\n", line.substr(0, space).c_str(),
+                line.substr(space + 1).c_str());
+  }
+
+  // Walk the sections, summarizing each. Metric lines are Prometheus text,
+  // journal lines are one JSON record each, the heatmap is raw doubles.
+  std::size_t metric_lines = 0;
+  std::size_t journal_records = 0;
+  std::size_t journal_alarms = 0;
+  std::size_t trace_events = 0;
+  std::vector<std::string> headline;
+  std::vector<double> heat_row;
+  std::string heat_header;
+  bool saw_end = false;
+  while (!section.empty()) {
+    std::string next;
+    const bool in_metrics = section == "== metrics ==";
+    const bool in_journal = section.rfind("== journal", 0) == 0;
+    const bool in_trace = section == "== trace ==";
+    const bool in_heatmap = section.rfind("== heatmap", 0) == 0;
+    if (in_heatmap) heat_header = section;
+    if (section == "== end ==") saw_end = true;
+    while (std::getline(file, line)) {
+      if (line.rfind("== ", 0) == 0) {
+        next = line;
+        break;
+      }
+      if (in_metrics && !line.empty() && line[0] != '#') {
+        ++metric_lines;
+        // Surface the counters an operator asks about first.
+        for (const char* want :
+             {"mhm_detector_intervals_analyzed", "mhm_detector_alarms ",
+              "mhm_core_gmm_log_likelihood"}) {
+          if (line.rfind(want, 0) == 0) headline.push_back(line);
+        }
+      } else if (in_journal && !line.empty()) {
+        ++journal_records;
+        if (line.find("\"alarm\":true") != std::string::npos) {
+          ++journal_alarms;
+        }
+      } else if (in_trace) {
+        for (std::size_t pos = 0;
+             (pos = line.find("\"ph\":\"X\"", pos)) != std::string::npos;
+             pos += 8) {
+          ++trace_events;
+        }
+      } else if (in_heatmap && !line.empty()) {
+        std::istringstream is(line);
+        double v = 0.0;
+        while (is >> v) heat_row.push_back(v);
+      }
+    }
+    section = next;
+  }
+  if (!saw_end) {
+    std::fprintf(stderr, "dump: warning: missing '== end ==' marker — the "
+                         "dump may be truncated\n");
+  }
+
+  std::printf("  metrics      %zu series\n", metric_lines);
+  for (const auto& h : headline) std::printf("    %s\n", h.c_str());
+  std::printf("  journal      %zu records, %zu alarms\n", journal_records,
+              journal_alarms);
+  std::printf("  trace        %zu span events\n", trace_events);
+  if (!heat_row.empty()) {
+    double total = 0.0;
+    double peak = 0.0;
+    std::size_t peak_cell = 0;
+    for (std::size_t i = 0; i < heat_row.size(); ++i) {
+      total += heat_row[i];
+      if (heat_row[i] > peak) {
+        peak = heat_row[i];
+        peak_cell = i;
+      }
+    }
+    std::printf("  %s\n", heat_header.c_str());
+    std::printf("  heatmap      %zu cells, %.0f total accesses, hottest "
+                "cell %zu (%.0f)\n",
+                heat_row.size(), total, peak_cell, peak);
+  } else {
+    std::printf("  heatmap      (no interval captured before the dump)\n");
+  }
+  return saw_end ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: mhm_tool <train|record|ingest|inspect|monitor|simulate"
-               "|metrics|journal> [--flag value]...\n");
+               "|metrics|journal|serve|dump> [--flag value]...\n");
 }
 
 }  // namespace
@@ -489,6 +700,25 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "metrics") return cmd_metrics(args);
     if (cmd == "journal") return cmd_journal(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "dump") return cmd_dump(args);
+    if (cmd == "selftest-crash") {
+      // Hidden hook for the crash-dump CLI test: arm the recorder exactly
+      // like `serve` does, then die by SIGSEGV. The test asserts the
+      // handler left a parseable .mhmdump behind.
+      obs::FlightRecorder::Options fr_opts;
+      fr_opts.dir = args.get("flight-dir", ".");
+      if (!obs::FlightRecorder::instance().arm(fr_opts, nullptr)) {
+        std::fprintf(stderr, "selftest-crash: cannot arm (obs compiled "
+                             "out?); nothing to test\n");
+        return 77;  // Conventional "skipped" exit code.
+      }
+      std::printf("crash file: %s\n",
+                  obs::FlightRecorder::instance().crash_file().c_str());
+      std::fflush(stdout);
+      std::raise(SIGSEGV);
+      return 1;  // Unreachable: the re-raised signal kills the process.
+    }
     usage();
     return 1;
   } catch (const std::exception& e) {
