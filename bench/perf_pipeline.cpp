@@ -19,6 +19,7 @@
 
 #include "bench_support.hpp"
 #include "common/parallel.hpp"
+#include "obs/model_health.hpp"
 #include "obs/obs.hpp"
 #include "obs/server.hpp"
 
@@ -220,6 +221,46 @@ int main() {
                 "bind failed)\n");
   }
 
+  // Model-health overhead: the serial analyze sweep with the drift monitor
+  // attached vs. detached. The hook reuses the score and SPE analyze()
+  // already computed, so the marginal cost is a few P² marker updates, two
+  // drift-detector adds, and one mutex acquisition per interval — budgeted
+  // inside the same <2% obs contract.
+  obs::set_enabled(true);
+  const auto health_workload = [&] {
+    double sink = 0.0;
+    for (int rep = 0; rep < kAnalyzeReps; ++rep) {
+      for (const auto& m : overhead_validation) {
+        sink += overhead_detector->analyze(m).log10_density;
+      }
+    }
+    return sink;
+  };
+  const std::shared_ptr<obs::ModelHealthMonitor> health =
+      overhead_detector->model_health();
+  double health_on_seconds = 1e300;
+  double health_off_seconds = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    overhead_detector->set_model_health(health);
+    auto t_mh = Clock::now();
+    obs_sink += health_workload();
+    health_on_seconds = std::min(health_on_seconds, seconds_since(t_mh));
+    overhead_detector->set_model_health(nullptr);
+    t_mh = Clock::now();
+    obs_sink += health_workload();
+    health_off_seconds = std::min(health_off_seconds, seconds_since(t_mh));
+  }
+  overhead_detector->set_model_health(health);
+  obs::set_enabled(obs_was_enabled);
+  const double model_health_overhead_pct =
+      health_off_seconds > 0.0
+          ? 100.0 * (health_on_seconds - health_off_seconds) /
+                health_off_seconds
+          : 0.0;
+  std::printf(
+      "[bench] model-health overhead: on=%.3fs off=%.3fs (%+.2f%%)\n",
+      health_on_seconds, health_off_seconds, model_health_overhead_pct);
+
   bool bit_identical = true;
   for (const auto& row : rows) {
     if (row.probe_scores != rows.front().probe_scores) bit_identical = false;
@@ -289,6 +330,12 @@ int main() {
   std::fprintf(json, "  \"server_on_seconds\": %.6f,\n", server_on_seconds);
   std::fprintf(json, "  \"server_overhead_pct\": %.3f,\n",
                server_overhead_pct);
+  std::fprintf(json, "  \"model_health_on_seconds\": %.6f,\n",
+               health_on_seconds);
+  std::fprintf(json, "  \"model_health_off_seconds\": %.6f,\n",
+               health_off_seconds);
+  std::fprintf(json, "  \"model_health_overhead_pct\": %.3f,\n",
+               model_health_overhead_pct);
   std::fprintf(json, "  \"bit_identical\": %s\n",
                bit_identical ? "true" : "false");
   std::fprintf(json, "}\n");

@@ -9,6 +9,7 @@
 #include "linalg/vector_ops.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/model_health.hpp"
 
 namespace mhm {
 
@@ -56,7 +57,49 @@ AnomalyDetector::AnomalyDetector(Eigenmemory pca, Gmm gmm,
     : pca_(std::move(pca)),
       gmm_(std::move(gmm)),
       calibrator_(std::move(calibrator)),
-      primary_(calibrator_.at(primary_p)) {}
+      primary_(calibrator_.at(primary_p)) {
+  init_observers();
+}
+
+void AnomalyDetector::init_observers() {
+  auto& registry = obs::Registry::instance();
+  phase_metrics_.clear();
+  phase_metrics_.reserve(journal_phases_);
+  for (std::size_t p = 0; p < journal_phases_; ++p) {
+    const std::string suffix = std::to_string(p);
+    PhaseMetrics pm;
+    pm.intervals = &registry.counter(
+        "detector.intervals_by_phase." + suffix,
+        "intervals analyzed at hyperperiod phase " + suffix);
+    pm.alarms = &registry.counter(
+        "detector.alarms_by_phase." + suffix,
+        "alarms raised at hyperperiod phase " + suffix);
+    pm.rate = &registry.gauge(
+        "detector.alarm_rate_by_phase." + suffix,
+        "alarms / intervals at hyperperiod phase " + suffix);
+    phase_metrics_.push_back(pm);
+  }
+
+  // The monitor's training baseline is the same validation-score vector
+  // θ_p was calibrated from — persisted by model_io, so assembled
+  // detectors get a monitor too. No re-scoring anywhere.
+  obs::ModelHealthOptions mh = obs::ModelHealthOptions::from_env();
+  if (!mh.attach) {
+    health_ = nullptr;
+    return;
+  }
+  mh.expected_p = primary_.p;
+  std::vector<double> weights;
+  weights.reserve(gmm_.component_count());
+  for (const auto& c : gmm_.components()) weights.push_back(c.weight);
+  health_ = std::make_shared<obs::ModelHealthMonitor>(
+      calibrator_.validation_scores(), std::move(weights), mh);
+}
+
+void AnomalyDetector::set_model_health(
+    std::shared_ptr<obs::ModelHealthMonitor> monitor) {
+  health_ = std::move(monitor);
+}
 
 AnomalyDetector AnomalyDetector::assemble(Eigenmemory pca, Gmm gmm,
                                           ThresholdCalibrator calibrator,
@@ -84,10 +127,16 @@ AnomalyDetector AnomalyDetector::train(
   const auto reduced = pca.project_all(training);
   Gmm gmm = Gmm::fit(reduced, options.gmm);
 
-  std::vector<double> validation_scores;
-  validation_scores.reserve(validation.size());
-  for (const auto& v : validation) {
-    validation_scores.push_back(gmm.log10_density(pca.project(v)));
+  // Single-pass calibration scoring: one parallel projection, one parallel
+  // density sweep that keeps the per-sample scores (Gmm::total_log_likelihood
+  // would otherwise be re-run by anyone wanting the total). The same vector
+  // seeds θ_p and the model-health training baseline.
+  const auto reduced_valid = pca.project_all(validation);
+  std::vector<double> ln_scores;
+  gmm.total_log_likelihood(reduced_valid, &ln_scores);
+  std::vector<double> validation_scores(ln_scores.size());
+  for (std::size_t i = 0; i < ln_scores.size(); ++i) {
+    validation_scores[i] = ln_scores[i] / std::log(10.0);
   }
   AnomalyDetector det(std::move(pca), std::move(gmm),
                       ThresholdCalibrator(std::move(validation_scores)),
@@ -119,6 +168,7 @@ AnomalyDetector AnomalyDetector::train(
   }
   det.journal_phases_ = std::max<std::size_t>(1, options.journal_phases);
   det.journal_top_cells_ = options.journal_top_cells;
+  if (det.journal_phases_ != det.phase_metrics_.size()) det.init_observers();
   return det;
 }
 
@@ -163,6 +213,14 @@ Verdict AnomalyDetector::analyze(const std::vector<double>& raw,
   v.anomalous = log10_density < primary_.log10_value;
   v.nearest_pattern = pattern;
   v.analysis_time = std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
+  // SPE from the projection scratch: the basis rows are orthonormal, so the
+  // reconstruction residual ‖Φ − B^T w‖² is ‖Φ‖² − ‖w‖² — no reconstruction,
+  // no allocation. Untimed: analysis_time stays the §5.4 measurement.
+  double phi_sq = 0.0;
+  for (double c : phi) phi_sq += c * c;
+  double w_sq = 0.0;
+  for (double c : reduced) w_sq += c * c;
+  v.spe = std::max(0.0, phi_sq - w_sq);
 
   if (obs::enabled()) {
     obs::mark_analysis();
@@ -170,6 +228,25 @@ Verdict AnomalyDetector::analyze(const std::vector<double>& raw,
     m.intervals.add();
     if (v.anomalous) m.alarms.add();
     m.analysis_ns.observe(static_cast<double>(v.analysis_time.count()));
+
+    // Hyperperiod-phase-bucketed alarm telemetry: one counter add and one
+    // gauge store per interval, cached handles only.
+    const std::size_t phase =
+        static_cast<std::size_t>(interval_index % journal_phases_);
+    if (phase < phase_metrics_.size()) {
+      const PhaseMetrics& pm = phase_metrics_[phase];
+      pm.intervals->add();
+      if (v.anomalous) pm.alarms->add();
+      pm.rate->set(static_cast<double>(pm.alarms->value()) /
+                   static_cast<double>(pm.intervals->value()));
+    }
+
+    // Model-health monitor: consumes the score/SPE/pattern this call
+    // already computed — the hook adds no E-step work.
+    if (health_ != nullptr) {
+      health_->observe(log10_density, v.spe, pattern, v.anomalous,
+                       interval_index, raw);
+    }
 
     // The record is thread_local and handed to the journal by swap, so its
     // vectors trade buffers with the evicted ring slot instead of

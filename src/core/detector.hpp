@@ -14,6 +14,9 @@
 
 namespace mhm::obs {
 class Histogram;
+class Counter;
+class Gauge;
+class ModelHealthMonitor;
 }  // namespace mhm::obs
 
 namespace mhm {
@@ -51,6 +54,10 @@ struct Verdict {
   double log10_density = 0.0;
   bool anomalous = false;          ///< Against the primary threshold.
   std::size_t nearest_pattern = 0; ///< Most responsible GMM component.
+  /// PCA residual (squared prediction error): ‖Φ − B^T w‖², the energy the
+  /// eigenmemory basis failed to capture. With an orthonormal basis this is
+  /// ‖Φ‖² − ‖w‖², so it falls out of the projection scratch for free.
+  double spe = 0.0;
   std::chrono::nanoseconds analysis_time{0};  ///< Secure-core compute time.
 };
 
@@ -126,6 +133,17 @@ class AnomalyDetector {
     return journal_;
   }
 
+  /// Online model-health monitor fed by analyze(): score-drift detectors,
+  /// calibration tracking and component occupancy (src/obs/model_health).
+  /// Shared between copies of the detector; null when detached
+  /// (set_model_health(nullptr) or MHM_DRIFT_DISABLE=1).
+  std::shared_ptr<obs::ModelHealthMonitor> model_health() const {
+    return health_;
+  }
+  /// Swap or detach (nullptr) the monitor — the perf bench measures the
+  /// hook's cost by detaching and re-attaching.
+  void set_model_health(std::shared_ptr<obs::ModelHealthMonitor> monitor);
+
   /// Reassemble from previously trained parts (deserialization): dimension
   /// compatibility between the PCA output and the GMM is validated.
   static AnomalyDetector assemble(Eigenmemory pca, Gmm gmm,
@@ -135,6 +153,20 @@ class AnomalyDetector {
  private:
   AnomalyDetector(Eigenmemory pca, Gmm gmm, ThresholdCalibrator calibrator,
                   double primary_p);
+
+  /// Registry handles for one hyperperiod phase bucket: drift confined to
+  /// one phase of the schedule shows up as that phase's alarm rate
+  /// diverging in /metrics.
+  struct PhaseMetrics {
+    obs::Counter* intervals = nullptr;
+    obs::Counter* alarms = nullptr;
+    obs::Gauge* rate = nullptr;
+  };
+
+  /// (Re)build the per-phase metric handle cache for journal_phases_
+  /// buckets and attach the model-health monitor. Called at construction
+  /// and again by train() after the options override journal_phases_.
+  void init_observers();
 
   /// Per-cell first/second moments of the raw training maps, used to rank
   /// the cells that drive an alarm. Absent on assemble()d detectors (the
@@ -153,6 +185,8 @@ class AnomalyDetector {
       std::make_shared<obs::DecisionJournal>();
   std::size_t journal_phases_ = 10;
   std::size_t journal_top_cells_ = 8;
+  std::vector<PhaseMetrics> phase_metrics_;
+  std::shared_ptr<obs::ModelHealthMonitor> health_;
 };
 
 /// Baseline detector from Figure 9's discussion: watch only the total

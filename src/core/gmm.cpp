@@ -146,15 +146,27 @@ std::vector<double> Gmm::sample(Rng& rng) const {
 
 double Gmm::total_log_likelihood(
     const std::vector<std::vector<double>>& data) const {
+  return total_log_likelihood(data, nullptr);
+}
+
+double Gmm::total_log_likelihood(const std::vector<std::vector<double>>& data,
+                                 std::vector<double>* per_sample) const {
   // Score samples in parallel (index-owned writes), then fold serially in
-  // sample order — bit-identical to the serial accumulation.
-  std::vector<double> per_sample(data.size());
+  // sample order — bit-identical to the serial accumulation. The scores
+  // stay available to the caller through `per_sample`.
+  std::vector<double> local;
+  std::vector<double>& scores = per_sample != nullptr ? *per_sample : local;
+  scores.resize(data.size());
   parallel_for(data.size(), 0, [&](std::size_t i0, std::size_t i1) {
     Scratch scratch;
     for (std::size_t i = i0; i < i1; ++i) {
-      per_sample[i] = log_density(data[i], scratch);
+      scores[i] = log_density(data[i], scratch);
     }
   });
+  return sum_log_likelihood(scores);
+}
+
+double Gmm::sum_log_likelihood(std::span<const double> per_sample) {
   double total = 0.0;
   for (double v : per_sample) total += v;
   return total;

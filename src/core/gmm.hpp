@@ -100,6 +100,20 @@ class Gmm {
   double total_log_likelihood(
       const std::vector<std::vector<double>>& data) const;
 
+  /// Single-pass variant: additionally writes each sample's natural-log
+  /// density into `per_sample` (resized to data.size()). Callers that need
+  /// both the per-sample scores and their sum — threshold calibration, BIC,
+  /// the model-health training baseline — score the set once instead of
+  /// running a second E-step-equivalent pass.
+  double total_log_likelihood(const std::vector<std::vector<double>>& data,
+                              std::vector<double>* per_sample) const;
+
+  /// Serial sample-order fold of scores computed elsewhere — bit-identical
+  /// to the accumulation the variants above perform, so anything already
+  /// holding per-interval log densities (the analyze hot path, a journal
+  /// snapshot) sums them without touching the mixture again.
+  static double sum_log_likelihood(std::span<const double> per_sample);
+
   /// Number of free parameters (for BIC): J·(d + d(d+1)/2) + (J−1).
   std::size_t parameter_count() const;
 

@@ -17,6 +17,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/model_health.hpp"
 
 namespace mhm::obs {
 
@@ -32,6 +33,8 @@ bool FlightRecorder::arm(const Options&,
   return false;
 }
 void FlightRecorder::disarm() {}
+void FlightRecorder::set_model_health(
+    std::shared_ptr<const ModelHealthMonitor>) {}
 bool FlightRecorder::armed() const { return false; }
 void FlightRecorder::note_interval(const std::vector<double>&, std::uint64_t,
                                    bool) {}
@@ -166,6 +169,13 @@ void FlightRecorder::disarm() {
   }
   crash_path_.clear();
   journal_.reset();
+  model_health_.reset();
+}
+
+void FlightRecorder::set_model_health(
+    std::shared_ptr<const ModelHealthMonitor> monitor) {
+  std::lock_guard<std::mutex> lk(mu_);
+  model_health_ = std::move(monitor);
 }
 
 bool FlightRecorder::armed() const {
@@ -223,6 +233,10 @@ std::string FlightRecorder::render_locked(const std::string& reason) const {
     os << decision_json(records[i]) << "\n";
   }
   os << "== trace ==\n" << chrome_trace_json();
+  if (model_health_ != nullptr) {
+    os << "== model_health ==\n"
+       << model_health_json(model_health_->snapshot()) << "\n";
+  }
   const bool alarm_row = have_alarm_row_;
   if (alarm_row || have_row_) {
     const auto& row = alarm_row ? alarm_row_ : last_row_;

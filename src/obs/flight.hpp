@@ -12,6 +12,8 @@
 
 namespace mhm::obs {
 
+class ModelHealthMonitor;
+
 /// Crash-safe flight recorder.
 ///
 /// Once armed, the recorder keeps a preallocated, prerendered snapshot of the
@@ -63,6 +65,11 @@ class FlightRecorder {
 
   bool armed() const;
 
+  /// Attach (or detach with null) a model-health monitor: dumps then carry
+  /// a `== model_health ==` section with the monitor's JSON snapshot.
+  /// Cleared by disarm().
+  void set_model_health(std::shared_ptr<const ModelHealthMonitor> monitor);
+
   /// Per-interval hook (detector): remembers the raw row, refreshes the
   /// crash snapshot and — for alarms — writes a rate-limited dump. No-op
   /// while unarmed.
@@ -86,6 +93,7 @@ class FlightRecorder {
   mutable std::mutex mu_;
   Options options_;
   std::shared_ptr<const DecisionJournal> journal_;
+  std::shared_ptr<const ModelHealthMonitor> model_health_;
   std::vector<double> last_row_;
   std::uint64_t last_interval_ = 0;
   bool have_row_ = false;

@@ -1,0 +1,635 @@
+#include "obs/model_health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace mhm::obs {
+
+// ---------------------------------------------------------------------------
+// P² streaming quantile (always compiled: pure, deterministic math).
+
+P2Quantile::P2Quantile(double p)
+    : p_(std::min(0.999, std::max(0.001, p))) {
+  step_[0] = 0.0;
+  step_[1] = p_ / 2.0;
+  step_[2] = p_;
+  step_[3] = (1.0 + p_) / 2.0;
+  step_[4] = 1.0;
+}
+
+double P2Quantile::parabolic(int i, double sign) const {
+  return q_[i] +
+         sign / (pos_[i + 1] - pos_[i - 1]) *
+             ((pos_[i] - pos_[i - 1] + sign) * (q_[i + 1] - q_[i]) /
+                  (pos_[i + 1] - pos_[i]) +
+              (pos_[i + 1] - pos_[i] - sign) * (q_[i] - q_[i - 1]) /
+                  (pos_[i] - pos_[i - 1]));
+}
+
+double P2Quantile::linear(int i, int sign) const {
+  return q_[i] +
+         static_cast<double>(sign) * (q_[i + sign] - q_[i]) /
+             (pos_[i + sign] - pos_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    q_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(q_, q_ + 5);
+      for (int i = 0; i < 5; ++i) {
+        pos_[i] = static_cast<double>(i + 1);
+        want_[i] = 1.0 + 4.0 * step_[i];
+      }
+    }
+    return;
+  }
+
+  int k = 0;
+  if (x < q_[0]) {
+    q_[0] = x;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+  ++n_;
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) want_[i] += step_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = want_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      double qn = parabolic(i, sign);
+      if (!(q_[i - 1] < qn && qn < q_[i + 1])) {
+        qn = linear(i, sign > 0.0 ? 1 : -1);
+      }
+      q_[i] = qn;
+      pos_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact (type-7) quantile of the few samples seen so far.
+    double sorted[5];
+    std::copy(q_, q_ + n_, sorted);
+    std::sort(sorted, sorted + n_);
+    const double rank = p_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min<std::size_t>(lo + 1, n_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return q_[2];
+}
+
+// ---------------------------------------------------------------------------
+// Drift detectors.
+
+bool CusumDetector::add(double z) {
+  s_pos_ = std::max(0.0, s_pos_ + z - k_);
+  s_neg_ = std::max(0.0, s_neg_ - z - k_);
+  const bool over = s_pos_ > h_ || s_neg_ > h_;
+  const bool newly = over && !fired_;
+  if (over) fired_ = true;
+  return newly;
+}
+
+void CusumDetector::reset() {
+  s_pos_ = 0.0;
+  s_neg_ = 0.0;
+  fired_ = false;
+}
+
+bool PageHinkleyDetector::add(double z) {
+  ++n_;
+  mean_ += (z - mean_) / static_cast<double>(n_);
+  m_up_ += z - mean_ - delta_;
+  m_dn_ += mean_ - z - delta_;
+  min_up_ = std::min(min_up_, m_up_);
+  min_dn_ = std::min(min_dn_, m_dn_);
+  const bool over = statistic() > lambda_;
+  const bool newly = over && !fired_;
+  if (over) fired_ = true;
+  return newly;
+}
+
+double PageHinkleyDetector::statistic() const {
+  return std::max(m_up_ - min_up_, m_dn_ - min_dn_);
+}
+
+void PageHinkleyDetector::reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  m_up_ = m_dn_ = 0.0;
+  min_up_ = min_dn_ = 0.0;
+  fired_ = false;
+}
+
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                               double z) {
+  if (trials == 0) return WilsonInterval{0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z / denom * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  return WilsonInterval{std::max(0.0, center - half),
+                        std::min(1.0, center + half)};
+}
+
+const char* to_string(ModelHealthStatus status) {
+  switch (status) {
+    case ModelHealthStatus::kOk:
+      return "OK";
+    case ModelHealthStatus::kDrifting:
+      return "DRIFTING";
+    case ModelHealthStatus::kMiscalibrated:
+      return "MISCALIBRATED";
+  }
+  return "OK";
+}
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !std::isfinite(parsed)) return fallback;
+  return parsed;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+}  // namespace
+
+ModelHealthOptions ModelHealthOptions::from_env() {
+  ModelHealthOptions o;
+  o.cusum_k = env_double("MHM_DRIFT_CUSUM_K", o.cusum_k);
+  o.cusum_h = env_double("MHM_DRIFT_CUSUM_H", o.cusum_h);
+  o.ph_delta = env_double("MHM_DRIFT_PH_DELTA", o.ph_delta);
+  o.ph_lambda = env_double("MHM_DRIFT_PH_LAMBDA", o.ph_lambda);
+  o.wilson_z = env_double("MHM_DRIFT_WILSON_Z", o.wilson_z);
+  o.min_intervals = env_u64("MHM_DRIFT_MIN_INTERVALS", o.min_intervals);
+  o.warmup = env_u64("MHM_DRIFT_WARMUP", o.warmup);
+  o.z_clamp = env_double("MHM_DRIFT_Z_CLAMP", o.z_clamp);
+  o.attach = env_u64("MHM_DRIFT_DISABLE", 0) == 0;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering (always compiled: /model bodies and dumps are pure text).
+
+namespace {
+
+std::string json_num(double v) {
+  char buf[40];
+  if (!std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "\"%s\"",
+                  std::isnan(v) ? "nan" : (v > 0 ? "inf" : "-inf"));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string model_health_json(const ModelHealthSnapshot& s) {
+  std::string os;
+  os.reserve(2048);
+  os += "{\"status\":";
+  os += json_str(to_string(s.status));
+  os += ",\"intervals\":" + std::to_string(s.intervals);
+  os += ",\"alarms\":" + std::to_string(s.alarms);
+  os += ",\"alarm_rate\":" + json_num(s.alarm_rate);
+  os += ",\"expected_p\":" + json_num(s.expected_p);
+  os += ",\"wilson_low\":" + json_num(s.wilson.low);
+  os += ",\"wilson_high\":" + json_num(s.wilson.high);
+  os += ",\"calibrated\":";
+  os += s.calibrated ? "true" : "false";
+  os += ",\"drift\":{\"cusum_pos\":" + json_num(s.cusum_pos);
+  os += ",\"cusum_neg\":" + json_num(s.cusum_neg);
+  os += ",\"cusum_threshold\":" + json_num(s.cusum_threshold);
+  os += ",\"cusum_fired\":";
+  os += s.cusum_fired ? "true" : "false";
+  os += ",\"page_hinkley\":" + json_num(s.ph_stat);
+  os += ",\"page_hinkley_lambda\":" + json_num(s.ph_lambda);
+  os += ",\"page_hinkley_fired\":";
+  os += s.ph_fired ? "true" : "false";
+  os += "},\"score\":{\"mean\":" + json_num(s.score_mean);
+  os += ",\"stddev\":" + json_num(s.score_stddev);
+  os += ",\"q05\":" + json_num(s.score_q05);
+  os += ",\"q50\":" + json_num(s.score_q50);
+  os += ",\"q95\":" + json_num(s.score_q95);
+  os += ",\"training\":{\"mean\":" + json_num(s.train_mean);
+  os += ",\"stddev\":" + json_num(s.train_stddev);
+  os += ",\"q05\":" + json_num(s.train_q05);
+  os += ",\"q50\":" + json_num(s.train_q50);
+  os += ",\"q95\":" + json_num(s.train_q95);
+  os += "}},\"spe\":{\"last\":" + json_num(s.spe_last);
+  os += ",\"q50\":" + json_num(s.spe_q50);
+  os += ",\"q95\":" + json_num(s.spe_q95);
+  os += "},\"components\":[";
+  for (std::size_t j = 0; j < s.component_weights.size(); ++j) {
+    if (j > 0) os += ",";
+    const std::uint64_t occ =
+        j < s.component_occupancy.size() ? s.component_occupancy[j] : 0;
+    os += "{\"weight\":" + json_num(s.component_weights[j]);
+    os += ",\"occupancy\":" + std::to_string(occ);
+    const double share =
+        s.intervals == 0 ? 0.0
+                         : static_cast<double>(occ) /
+                               static_cast<double>(s.intervals);
+    os += ",\"share\":" + json_num(share) + "}";
+  }
+  os += "],\"events\":[";
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    if (i > 0) os += ",";
+    const auto& e = s.events[i];
+    os += "{\"interval\":" + std::to_string(e.interval);
+    os += ",\"from\":" + json_str(to_string(e.from));
+    os += ",\"to\":" + json_str(to_string(e.to));
+    os += ",\"detail\":" + json_str(e.detail) + "}";
+  }
+  os += "],\"recent_scores\":[";
+  for (std::size_t i = 0; i < s.recent_scores.size(); ++i) {
+    if (i > 0) os += ",";
+    os += json_num(s.recent_scores[i]);
+  }
+  os += "],\"heat_row\":{\"interval\":" + std::to_string(s.last_row_interval);
+  os += ",\"cells\":[";
+  for (std::size_t i = 0; i < s.last_row.size(); ++i) {
+    if (i > 0) os += ",";
+    os += json_num(s.last_row[i]);
+  }
+  os += "]}}";
+  return os;
+}
+
+// ---------------------------------------------------------------------------
+// Monitor.
+
+#if defined(MHM_OBS_DISABLED)
+
+// Compiled-out build: no state, no locks, no metrics — every method is a
+// no-op shell so callers need no #ifs.
+struct ModelHealthMonitor::Impl {};
+ModelHealthMonitor::ModelHealthMonitor(const std::vector<double>&,
+                                       std::vector<double>,
+                                       const ModelHealthOptions&) {}
+ModelHealthMonitor::~ModelHealthMonitor() = default;
+void ModelHealthMonitor::observe(double, double, std::size_t, bool,
+                                 std::uint64_t, const std::vector<double>&) {}
+ModelHealthStatus ModelHealthMonitor::status() const {
+  return ModelHealthStatus::kOk;
+}
+ModelHealthSnapshot ModelHealthMonitor::snapshot() const {
+  return ModelHealthSnapshot{};
+}
+void ModelHealthMonitor::reset() {}
+
+#else
+
+struct ModelHealthMonitor::Impl {
+  const ModelHealthOptions opts;
+  // Training-time reference, fixed at construction.
+  double train_mean = 0.0;
+  double train_stddev = 1.0;
+  double train_q05 = 0.0;
+  double train_q50 = 0.0;
+  double train_q95 = 0.0;
+  const std::vector<double> weights;
+
+  mutable std::mutex mu;
+  P2Quantile q05{0.05};
+  P2Quantile q50{0.5};
+  P2Quantile q95{0.95};
+  P2Quantile spe_q50{0.5};
+  P2Quantile spe_q95{0.95};
+  double spe_last = 0.0;
+  std::uint64_t intervals = 0;
+  std::uint64_t alarms = 0;
+  double mean = 0.0;  ///< Welford running mean of the live scores.
+  double m2 = 0.0;    ///< Welford sum of squared deviations.
+  CusumDetector cusum;
+  PageHinkleyDetector ph;
+  std::vector<std::uint64_t> occupancy;
+  std::vector<double> recent;
+  std::size_t recent_next = 0;
+  std::vector<double> last_row;
+  std::uint64_t last_row_interval = 0;
+  WilsonInterval wilson;
+  bool miscalibrated = false;
+  ModelHealthStatus current = ModelHealthStatus::kOk;
+  std::vector<ModelHealthEvent> events;
+
+  Gauge& g_status = Registry::instance().gauge(
+      "model_health.status", "0 OK, 1 DRIFTING, 2 MISCALIBRATED");
+  Gauge& g_alarm_rate = Registry::instance().gauge(
+      "model_health.alarm_rate", "empirical alarm fraction of the live run");
+  Gauge& g_wilson_low = Registry::instance().gauge(
+      "model_health.wilson_low", "lower Wilson bound on the alarm rate");
+  Gauge& g_wilson_high = Registry::instance().gauge(
+      "model_health.wilson_high", "upper Wilson bound on the alarm rate");
+  Gauge& g_cusum_pos = Registry::instance().gauge(
+      "model_health.cusum_pos", "CUSUM upper sum on the standardized score");
+  Gauge& g_cusum_neg = Registry::instance().gauge(
+      "model_health.cusum_neg", "CUSUM lower sum on the standardized score");
+  Gauge& g_ph = Registry::instance().gauge(
+      "model_health.page_hinkley", "Page-Hinkley excursion statistic");
+  Gauge& g_q05 = Registry::instance().gauge(
+      "model_health.score_q05", "P2 sketch of the live score, 5th percentile");
+  Gauge& g_q50 = Registry::instance().gauge(
+      "model_health.score_q50", "P2 sketch of the live score, median");
+  Gauge& g_q95 = Registry::instance().gauge(
+      "model_health.score_q95", "P2 sketch of the live score, 95th percentile");
+  Gauge& g_spe95 = Registry::instance().gauge(
+      "model_health.spe_q95", "P2 sketch of the PCA residual, 95th percentile");
+  Counter& c_drift = Registry::instance().counter(
+      "model_health.drift_events", "transitions into DRIFTING");
+  Counter& c_breach = Registry::instance().counter(
+      "model_health.calibration_breaches", "transitions into MISCALIBRATED");
+  std::vector<Gauge*> g_occupancy;
+
+  Impl(const std::vector<double>& training_scores,
+       std::vector<double> component_weights, const ModelHealthOptions& o)
+      : opts(o),
+        weights(std::move(component_weights)),
+        cusum(o.cusum_k, o.cusum_h),
+        ph(o.ph_delta, o.ph_lambda) {
+    if (!training_scores.empty()) {
+      std::vector<double> sorted = training_scores;
+      std::sort(sorted.begin(), sorted.end());
+      const double n = static_cast<double>(sorted.size());
+      double sum = 0.0;
+      for (double v : sorted) sum += v;
+      train_mean = sum / n;
+      double sq = 0.0;
+      for (double v : sorted) {
+        const double d = v - train_mean;
+        sq += d * d;
+      }
+      train_stddev = std::sqrt(sq / n);
+      const auto at = [&](double p) {
+        const double rank = p * (n - 1.0);
+        const auto lo = static_cast<std::size_t>(rank);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+      };
+      train_q05 = at(0.05);
+      train_q50 = at(0.50);
+      train_q95 = at(0.95);
+    }
+    occupancy.assign(weights.size(), 0);
+    g_occupancy.reserve(weights.size());
+    for (std::size_t j = 0; j < weights.size(); ++j) {
+      g_occupancy.push_back(&Registry::instance().gauge(
+          "model_health.occupancy." + std::to_string(j),
+          "intervals for which component " + std::to_string(j) +
+              " was most responsible"));
+    }
+  }
+
+  /// Detail line for a status transition, e.g.
+  /// "cusum s+=0.0 s-=12.3 (h 10)" or "alarm rate 0.08 vs p 0.01".
+  std::string describe_locked() const {
+    char buf[160];
+    if (miscalibrated) {
+      std::snprintf(buf, sizeof buf,
+                    "alarm rate %.4g outside Wilson [%.4g, %.4g] for p %.4g",
+                    intervals == 0
+                        ? 0.0
+                        : static_cast<double>(alarms) /
+                              static_cast<double>(intervals),
+                    wilson.low, wilson.high, opts.expected_p);
+    } else if (cusum.fired() || ph.fired()) {
+      std::snprintf(buf, sizeof buf,
+                    "cusum s+=%.3g s-=%.3g (h %.3g), page-hinkley %.3g "
+                    "(lambda %.3g)",
+                    cusum.positive_sum(), cusum.negative_sum(),
+                    cusum.threshold(), ph.statistic(), ph.lambda());
+    } else {
+      std::snprintf(buf, sizeof buf, "recovered");
+    }
+    return buf;
+  }
+};
+
+ModelHealthMonitor::ModelHealthMonitor(
+    const std::vector<double>& training_scores_log10,
+    std::vector<double> component_weights, const ModelHealthOptions& options)
+    : impl_(std::make_unique<Impl>(training_scores_log10,
+                                   std::move(component_weights), options)) {}
+
+ModelHealthMonitor::~ModelHealthMonitor() = default;
+
+void ModelHealthMonitor::observe(double log10_density, double spe,
+                                 std::size_t pattern, bool alarm,
+                                 std::uint64_t interval_index,
+                                 const std::vector<double>& raw) {
+  if (!enabled()) return;
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+
+  ++im.intervals;
+  if (alarm) ++im.alarms;
+  im.q05.add(log10_density);
+  im.q50.add(log10_density);
+  im.q95.add(log10_density);
+  im.spe_q50.add(spe);
+  im.spe_q95.add(spe);
+  im.spe_last = spe;
+  const double d = log10_density - im.mean;
+  im.mean += d / static_cast<double>(im.intervals);
+  im.m2 += d * (log10_density - im.mean);
+  // Drift detectors skip per-run warmup intervals (cold-start heat maps are
+  // extreme outliers that would poison Page–Hinkley's running mean) and see
+  // a winsorized z so one freak interval cannot latch a false DRIFTING.
+  if (interval_index >= im.opts.warmup) {
+    const double sd = im.train_stddev > 1e-12 ? im.train_stddev : 1e-12;
+    const double z = std::clamp((log10_density - im.train_mean) / sd,
+                                -im.opts.z_clamp, im.opts.z_clamp);
+    im.cusum.add(z);
+    im.ph.add(z);
+  }
+  if (pattern < im.occupancy.size()) {
+    ++im.occupancy[pattern];
+    im.g_occupancy[pattern]->set(
+        static_cast<double>(im.occupancy[pattern]));
+  }
+  if (im.opts.history > 0) {
+    if (im.recent.size() < im.opts.history) {
+      im.recent.push_back(log10_density);
+    } else {
+      im.recent[im.recent_next] = log10_density;
+      im.recent_next = (im.recent_next + 1) % im.opts.history;
+    }
+  }
+  // The raw row copy is O(L); a strided copy keeps the amortized hook cost
+  // flat while the watch dashboard still sees a fresh row every poll.
+  const std::size_t stride = std::max<std::size_t>(1, im.opts.row_stride);
+  if (im.last_row.empty() || alarm || interval_index % stride == 0) {
+    im.last_row.assign(raw.begin(), raw.end());
+    im.last_row_interval = interval_index;
+  }
+
+  im.wilson = wilson_interval(im.alarms, im.intervals, im.opts.wilson_z);
+  im.miscalibrated =
+      im.intervals >= im.opts.min_intervals &&
+      (im.opts.expected_p < im.wilson.low ||
+       im.opts.expected_p > im.wilson.high);
+  const bool drifting = im.cusum.fired() || im.ph.fired();
+  const ModelHealthStatus next =
+      im.miscalibrated ? ModelHealthStatus::kMiscalibrated
+      : drifting       ? ModelHealthStatus::kDrifting
+                       : ModelHealthStatus::kOk;
+  if (next != im.current) {
+    if (next == ModelHealthStatus::kDrifting) im.c_drift.add();
+    if (next == ModelHealthStatus::kMiscalibrated) im.c_breach.add();
+    if (im.events.size() >= im.opts.max_events) {
+      im.events.erase(im.events.begin());
+    }
+    im.events.push_back(ModelHealthEvent{interval_index, im.current, next,
+                                         im.describe_locked()});
+    im.current = next;
+  }
+
+  im.g_status.set(static_cast<double>(static_cast<int>(im.current)));
+  im.g_alarm_rate.set(static_cast<double>(im.alarms) /
+                      static_cast<double>(im.intervals));
+  im.g_wilson_low.set(im.wilson.low);
+  im.g_wilson_high.set(im.wilson.high);
+  im.g_cusum_pos.set(im.cusum.positive_sum());
+  im.g_cusum_neg.set(im.cusum.negative_sum());
+  im.g_ph.set(im.ph.statistic());
+  im.g_q05.set(im.q05.value());
+  im.g_q50.set(im.q50.value());
+  im.g_q95.set(im.q95.value());
+  im.g_spe95.set(im.spe_q95.value());
+}
+
+ModelHealthStatus ModelHealthMonitor::status() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->current;
+}
+
+ModelHealthSnapshot ModelHealthMonitor::snapshot() const {
+  const Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  ModelHealthSnapshot s;
+  s.status = im.current;
+  s.intervals = im.intervals;
+  s.alarms = im.alarms;
+  s.alarm_rate = im.intervals == 0
+                     ? 0.0
+                     : static_cast<double>(im.alarms) /
+                           static_cast<double>(im.intervals);
+  s.expected_p = im.opts.expected_p;
+  s.wilson = im.wilson;
+  s.calibrated = !im.miscalibrated;
+  s.cusum_pos = im.cusum.positive_sum();
+  s.cusum_neg = im.cusum.negative_sum();
+  s.cusum_threshold = im.cusum.threshold();
+  s.cusum_fired = im.cusum.fired();
+  s.ph_stat = im.ph.statistic();
+  s.ph_lambda = im.ph.lambda();
+  s.ph_fired = im.ph.fired();
+  s.score_mean = im.mean;
+  s.score_stddev =
+      im.intervals < 2
+          ? 0.0
+          : std::sqrt(im.m2 / static_cast<double>(im.intervals));
+  s.score_q05 = im.q05.value();
+  s.score_q50 = im.q50.value();
+  s.score_q95 = im.q95.value();
+  s.train_mean = im.train_mean;
+  s.train_stddev = im.train_stddev;
+  s.train_q05 = im.train_q05;
+  s.train_q50 = im.train_q50;
+  s.train_q95 = im.train_q95;
+  s.spe_last = im.spe_last;
+  s.spe_q50 = im.spe_q50.value();
+  s.spe_q95 = im.spe_q95.value();
+  s.component_weights = im.weights;
+  s.component_occupancy = im.occupancy;
+  s.events = im.events;
+  // Recent scores, oldest first (the ring overwrites at recent_next).
+  if (im.recent.size() < im.opts.history) {
+    s.recent_scores = im.recent;
+  } else {
+    s.recent_scores.reserve(im.recent.size());
+    for (std::size_t i = 0; i < im.recent.size(); ++i) {
+      s.recent_scores.push_back(
+          im.recent[(im.recent_next + i) % im.recent.size()]);
+    }
+  }
+  s.last_row = im.last_row;
+  s.last_row_interval = im.last_row_interval;
+  return s;
+}
+
+void ModelHealthMonitor::reset() {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.q05 = P2Quantile(0.05);
+  im.q50 = P2Quantile(0.5);
+  im.q95 = P2Quantile(0.95);
+  im.spe_q50 = P2Quantile(0.5);
+  im.spe_q95 = P2Quantile(0.95);
+  im.spe_last = 0.0;
+  im.intervals = 0;
+  im.alarms = 0;
+  im.mean = 0.0;
+  im.m2 = 0.0;
+  im.cusum.reset();
+  im.ph.reset();
+  std::fill(im.occupancy.begin(), im.occupancy.end(), 0);
+  im.recent.clear();
+  im.recent_next = 0;
+  im.last_row.clear();
+  im.last_row_interval = 0;
+  im.wilson = WilsonInterval{};
+  im.miscalibrated = false;
+  im.current = ModelHealthStatus::kOk;
+  im.events.clear();
+  im.g_status.set(0.0);
+}
+
+#endif  // MHM_OBS_DISABLED
+
+}  // namespace mhm::obs

@@ -10,6 +10,7 @@
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/model_health.hpp"
 
 #if !defined(MHM_OBS_DISABLED)
 #include <netinet/in.h>
@@ -36,12 +37,15 @@ void MonitorServer::stop() {}
 bool MonitorServer::running() const { return false; }
 std::uint16_t MonitorServer::port() const { return 0; }
 void MonitorServer::set_journal(std::shared_ptr<const DecisionJournal>) {}
+void MonitorServer::set_model_health(
+    std::shared_ptr<const ModelHealthMonitor>) {}
 MonitorServer& MonitorServer::instance() {
   static MonitorServer* server = new MonitorServer();
   return *server;
 }
 bool MonitorServer::ensure_env_server(
-    std::shared_ptr<const DecisionJournal>) {
+    std::shared_ptr<const DecisionJournal>,
+    std::shared_ptr<const ModelHealthMonitor>) {
   return false;
 }
 
@@ -131,6 +135,7 @@ struct MonitorServer::Impl {
   std::uint64_t start_ns = 0;
   std::mutex journal_mu;
   std::shared_ptr<const DecisionJournal> journal;
+  std::shared_ptr<const ModelHealthMonitor> model_health;
 
   Counter& requests = Registry::instance().counter(
       "obs.server.requests", "HTTP requests handled by the monitor endpoint");
@@ -274,6 +279,21 @@ void MonitorServer::Impl::respond(int fd, const std::string& target) {
     send_response(fd, 200, "OK", "application/json", chrome_trace_json());
     return;
   }
+  if (path == "/model") {
+    std::shared_ptr<const ModelHealthMonitor> monitor;
+    {
+      std::lock_guard<std::mutex> lk(journal_mu);
+      monitor = model_health;
+    }
+    if (monitor == nullptr) {
+      send_response(fd, 404, "Not Found", "text/plain",
+                    "no model-health monitor attached\n");
+      return;
+    }
+    send_response(fd, 200, "OK", "application/json",
+                  model_health_json(monitor->snapshot()) + "\n");
+    return;
+  }
   if (path == "/flush") {
     const std::string dumped = FlightRecorder::instance().dump("flush");
     if (dumped.empty()) {
@@ -353,6 +373,12 @@ void MonitorServer::set_journal(
   impl_->journal = std::move(journal);
 }
 
+void MonitorServer::set_model_health(
+    std::shared_ptr<const ModelHealthMonitor> monitor) {
+  std::lock_guard<std::mutex> lk(impl_->journal_mu);
+  impl_->model_health = std::move(monitor);
+}
+
 MonitorServer& MonitorServer::instance() {
   static MonitorServer* server =
       new MonitorServer();  // Leaked: outlives static dtors.
@@ -360,9 +386,13 @@ MonitorServer& MonitorServer::instance() {
 }
 
 bool MonitorServer::ensure_env_server(
-    std::shared_ptr<const DecisionJournal> journal) {
+    std::shared_ptr<const DecisionJournal> journal,
+    std::shared_ptr<const ModelHealthMonitor> model_health) {
   MonitorServer& server = instance();
   if (journal != nullptr) server.set_journal(std::move(journal));
+  if (model_health != nullptr) {
+    server.set_model_health(std::move(model_health));
+  }
   if (server.running()) return true;
   const char* env = std::getenv("MHM_OBS_PORT");
   if (env == nullptr || env[0] == '\0') return false;

@@ -9,6 +9,8 @@
 
 namespace mhm::obs {
 
+class ModelHealthMonitor;
+
 /// Dependency-free HTTP/1.1 monitoring endpoint (POSIX sockets, loopback
 /// only, single accept-and-serve thread, bounded request size, one request
 /// per connection). Off by default; long-running pipelines start it when
@@ -20,6 +22,8 @@ namespace mhm::obs {
 ///   /status           JSON snapshot: intervals/alarms/scenario progress/LL
 ///   /journal?tail=N   last N decision records as JSON lines (default 100)
 ///   /trace            span ring as Chrome trace_event JSON (Perfetto)
+///   /model            model-health JSON: status, drift statistics, sketch
+///                     quantiles vs training, component occupancy
 ///   /flush            force a flight-recorder dump, returns its path
 ///
 /// Handling runs entirely on the server thread and only reads state behind
@@ -52,16 +56,21 @@ class MonitorServer {
   /// Null detaches (the endpoint then answers 404).
   void set_journal(std::shared_ptr<const DecisionJournal> journal);
 
+  /// Model-health monitor served by /model; same attach/detach semantics
+  /// as set_journal.
+  void set_model_health(std::shared_ptr<const ModelHealthMonitor> monitor);
+
   /// The process-wide server used by the MHM_OBS_PORT autostart.
   static MonitorServer& instance();
 
   /// Start instance() on MHM_OBS_PORT when the variable names a valid port
-  /// and the server is not yet running; attaches `journal` either way.
-  /// Returns true when the server is (now) running. The pipeline calls this
-  /// from its long-running entry points, making any run scrapeable without
-  /// code changes.
+  /// and the server is not yet running; attaches `journal` and
+  /// `model_health` (when non-null) either way. Returns true when the
+  /// server is (now) running. The pipeline calls this from its long-running
+  /// entry points, making any run scrapeable without code changes.
   static bool ensure_env_server(
-      std::shared_ptr<const DecisionJournal> journal = nullptr);
+      std::shared_ptr<const DecisionJournal> journal = nullptr,
+      std::shared_ptr<const ModelHealthMonitor> model_health = nullptr);
 
  private:
   struct Impl;

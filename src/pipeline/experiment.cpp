@@ -207,7 +207,8 @@ std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
   // Long-running entry point: expose the process over MHM_OBS_PORT (no-op
   // when unset or already serving) so any batch is scrapeable mid-flight.
   obs::MonitorServer::ensure_env_server(
-      detector != nullptr ? detector->journal_ptr() : nullptr);
+      detector != nullptr ? detector->journal_ptr() : nullptr,
+      detector != nullptr ? detector->model_health() : nullptr);
   PipelineMetrics& metrics = pipeline_metrics();
   metrics.scenarios_completed.set(0.0);
   const bool heartbeat = progress_heartbeat_enabled();
@@ -264,6 +265,10 @@ TrainedPipeline train_pipeline(const sim::SystemConfig& config,
       AnomalyDetector::train(out.training, out.validation, options));
   out.theta_05 = out.detector->thresholds().theta_05();
   out.theta_1 = out.detector->thresholds().theta_1();
+  // A server started from MHM_OBS_PORT above now also answers /model and
+  // /journal for the freshly trained detector.
+  obs::MonitorServer::ensure_env_server(out.detector->journal_ptr(),
+                                        out.detector->model_health());
   return out;
 }
 

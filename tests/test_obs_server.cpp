@@ -28,6 +28,7 @@
 #include "obs/flight.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/model_health.hpp"
 #include "obs/trace.hpp"
 
 namespace mhm::obs {
@@ -317,6 +318,40 @@ TEST_F(MonitorServerTest, JournalServesTailAsJsonLines) {
   // Detaching the journal turns the route into a 404.
   server_.set_journal(nullptr);
   EXPECT_NE(get_path(server_.port(), "/journal").find("404"),
+            std::string::npos);
+}
+
+TEST_F(MonitorServerTest, ModelServesModelHealthJson) {
+  // 404 until a monitor is attached.
+  EXPECT_NE(get_path(server_.port(), "/model").find("404"),
+            std::string::npos);
+
+  std::vector<double> training;
+  training.reserve(64);
+  for (int i = 0; i < 64; ++i) training.push_back(-25.0 + 0.1 * i);
+  ModelHealthOptions opts;
+  opts.min_intervals = 8;
+  auto monitor = std::make_shared<ModelHealthMonitor>(
+      training, std::vector<double>{0.6, 0.4}, opts);
+  const std::vector<double> row = {1.0, 2.0, 3.0};
+  for (std::uint64_t n = 0; n < 12; ++n) {
+    monitor->observe(-22.0, 0.25, n % 2, /*alarm=*/false, n, row);
+  }
+  server_.set_model_health(monitor);
+
+  const std::string response = get_path(server_.port(), "/model");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"intervals\":12"), std::string::npos);
+  EXPECT_NE(body.find("\"drift\":"), std::string::npos);
+  EXPECT_NE(body.find("\"components\":"), std::string::npos);
+  EXPECT_NE(body.find("\"heat_row\":"), std::string::npos);
+
+  // Detaching turns the route back into a 404.
+  server_.set_model_health(nullptr);
+  EXPECT_NE(get_path(server_.port(), "/model").find("404"),
             std::string::npos);
 }
 

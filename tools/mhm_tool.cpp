@@ -55,11 +55,24 @@
 //       /status, /journal and /trace serve live data. --linger-ms keeps
 //       the endpoint up after the replays for external scrapers.
 //
+//   mhm_tool watch   --port P [--interval-ms I] [--iterations N] [--clear 0|1]
+//       Live model-health dashboard: poll GET /model on a serving process
+//       (see `serve`) and render status, score sparkline vs. training
+//       quantiles, drift statistics, component occupancy bars, and the
+//       latest heat-map row. --iterations 0 (default) polls until killed.
+//
 //   mhm_tool dump    --in file.mhmdump
 //       Pretty-print a flight-recorder dump: why and when it was written,
 //       headline metrics, journal alarms, and the captured heatmap row.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -70,6 +83,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "attacks/attacks.hpp"
 #include "common/ascii_plot.hpp"
@@ -80,6 +94,7 @@
 #include "hw/memometer.hpp"
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
+#include "obs/model_health.hpp"
 #include "obs/server.hpp"
 #include "pipeline/experiment.hpp"
 
@@ -517,8 +532,11 @@ int cmd_serve(const Args& args) {
     return 1;
   }
   server.set_journal(pipe.detector->journal_ptr());
+  server.set_model_health(pipe.detector->model_health());
+  obs::FlightRecorder::instance().set_model_health(
+      pipe.detector->model_health());
   std::printf("serving http://127.0.0.1:%u (metrics, healthz, status, "
-              "journal, trace, flush)\n",
+              "journal, trace, model, flush)\n",
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
 
@@ -543,6 +561,12 @@ int cmd_serve(const Args& args) {
                 static_cast<unsigned long long>(s + 1),
                 static_cast<unsigned long long>(scenarios),
                 run.scenario.c_str(), run.verdicts.size(), alarms);
+    std::fflush(stdout);
+  }
+  if (const auto health = pipe.detector->model_health()) {
+    const obs::ModelHealthSnapshot snap = health->snapshot();
+    std::printf("model health: %s (alarm rate %.4f, expected p %.4f)\n",
+                obs::to_string(snap.status), snap.alarm_rate, snap.expected_p);
     std::fflush(stdout);
   }
 
@@ -676,10 +700,236 @@ int cmd_dump(const Args& args) {
   return saw_end ? 0 : 1;
 }
 
+// --- watch: live model-health dashboard ------------------------------------
+//
+// `watch` is a pure HTTP client: it polls a serving process's /model route
+// over loopback and renders a terminal dashboard — score sparkline against
+// the training quantiles, component occupancy bars, and the latest heat-map
+// row. The field extractors below lean on the fixed shape of the /model
+// document (docs/FILE_FORMATS.md) instead of pulling in a JSON library.
+
+/// Position just past `"key":`, or npos.
+std::size_t find_key(const std::string& body, const std::string& key,
+                     std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = body.find(needle, from);
+  return pos == std::string::npos ? std::string::npos : pos + needle.size();
+}
+
+double num_field(const std::string& body, const std::string& key,
+                 std::size_t from = 0, double fallback = 0.0) {
+  const std::size_t pos = find_key(body, key, from);
+  if (pos == std::string::npos || pos >= body.size()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(body.c_str() + pos, &end);
+  return end == body.c_str() + pos ? fallback : v;
+}
+
+std::string str_field(const std::string& body, const std::string& key,
+                      std::size_t from = 0) {
+  const std::size_t pos = find_key(body, key, from);
+  if (pos == std::string::npos || pos >= body.size() || body[pos] != '"') {
+    return "";
+  }
+  const std::size_t end = body.find('"', pos + 1);
+  return end == std::string::npos ? "" : body.substr(pos + 1, end - pos - 1);
+}
+
+std::vector<double> num_array(const std::string& body, const std::string& key,
+                              std::size_t from = 0) {
+  std::vector<double> out;
+  std::size_t pos = find_key(body, key, from);
+  if (pos == std::string::npos || pos >= body.size() || body[pos] != '[') {
+    return out;
+  }
+  ++pos;
+  while (pos < body.size() && body[pos] != ']') {
+    char* end = nullptr;
+    const double v = std::strtod(body.c_str() + pos, &end);
+    if (end == body.c_str() + pos) break;
+    out.push_back(v);
+    pos = static_cast<std::size_t>(end - body.c_str());
+    if (pos < body.size() && body[pos] == ',') ++pos;
+  }
+  return out;
+}
+
+/// Blocking loopback GET; returns the response body, or "" on any failure.
+std::string fetch_body(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  struct timeval tv;
+  tv.tv_sec = 2;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (response.rfind("HTTP/1.1 200", 0) != 0) return "";
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+std::string occupancy_bar(double share, std::size_t width) {
+  const auto filled = static_cast<std::size_t>(
+      std::lround(std::max(0.0, std::min(1.0, share)) *
+                  static_cast<double>(width)));
+  std::string bar;
+  for (std::size_t i = 0; i < width; ++i) bar += i < filled ? "#" : ".";
+  return bar;
+}
+
+void render_dashboard(const std::string& body, std::uint16_t port,
+                      std::uint64_t poll) {
+  std::ostringstream os;
+  os << "mhm model health  http://127.0.0.1:" << port << "/model  poll "
+     << poll << "\n";
+  const double alarm_rate = num_field(body, "alarm_rate");
+  char line[200];
+  std::snprintf(line, sizeof line,
+                "status %s | intervals %.0f | alarms %.0f (%.2f%%) | "
+                "expected p %.2f%% wilson [%.2f%%, %.2f%%]\n",
+                str_field(body, "status").c_str(),
+                num_field(body, "intervals"), num_field(body, "alarms"),
+                100.0 * alarm_rate, 100.0 * num_field(body, "expected_p"),
+                100.0 * num_field(body, "wilson_low"),
+                100.0 * num_field(body, "wilson_high"));
+  os << line;
+  const std::size_t score_pos = find_key(body, "score");
+  const std::size_t train_pos = find_key(body, "training", score_pos);
+  std::snprintf(line, sizeof line,
+                "score  live  q05 %9.3f  q50 %9.3f  q95 %9.3f  mean %9.3f\n",
+                num_field(body, "q05", score_pos),
+                num_field(body, "q50", score_pos),
+                num_field(body, "q95", score_pos),
+                num_field(body, "mean", score_pos));
+  os << line;
+  std::snprintf(line, sizeof line,
+                "       train q05 %9.3f  q50 %9.3f  q95 %9.3f  mean %9.3f\n",
+                num_field(body, "q05", train_pos),
+                num_field(body, "q50", train_pos),
+                num_field(body, "q95", train_pos),
+                num_field(body, "mean", train_pos));
+  os << line;
+  const std::size_t drift_pos = find_key(body, "drift");
+  std::snprintf(line, sizeof line,
+                "drift  cusum +%.2f/-%.2f (h %.1f)  page-hinkley %.2f "
+                "(lambda %.1f)  spe q95 %.3g\n",
+                num_field(body, "cusum_pos", drift_pos),
+                num_field(body, "cusum_neg", drift_pos),
+                num_field(body, "cusum_threshold", drift_pos),
+                num_field(body, "page_hinkley", drift_pos),
+                num_field(body, "page_hinkley_lambda", drift_pos),
+                num_field(body, "q95", find_key(body, "spe")));
+  os << line;
+
+  os << "components (arg-max occupancy share vs mixture weight):\n";
+  const std::size_t comp_pos = find_key(body, "components");
+  const std::size_t comp_end = body.find("\"events\":");
+  std::size_t p = comp_pos;
+  std::size_t j = 0;
+  while (p != std::string::npos && p < comp_end) {
+    const std::size_t wp = find_key(body, "weight", p);
+    if (wp == std::string::npos || wp >= comp_end) break;
+    const double weight = num_field(body, "weight", p);
+    const double share = num_field(body, "share", wp);
+    std::snprintf(line, sizeof line, "  #%zu  w %.3f  share %.3f  %s\n", j,
+                  weight, share, occupancy_bar(share, 24).c_str());
+    os << line;
+    p = find_key(body, "share", wp);
+    ++j;
+  }
+
+  const std::vector<double> recent = num_array(body, "recent_scores");
+  if (!recent.empty()) {
+    LinePlotOptions plot;
+    plot.width = 64;
+    plot.height = 8;
+    plot.title = "log10 Pr(M), last " + std::to_string(recent.size()) +
+                 " intervals (- training median)";
+    plot.hlines.push_back(num_field(body, "q50", train_pos));
+    os << render_line_plot(recent, plot);
+  }
+  const std::size_t row_pos = find_key(body, "heat_row");
+  const std::vector<double> cells = num_array(body, "cells", row_pos);
+  if (!cells.empty()) {
+    std::vector<std::uint64_t> counts;
+    counts.reserve(cells.size());
+    for (double c : cells) {
+      counts.push_back(
+          c <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(c)));
+    }
+    HeatMapPlotOptions hm;
+    hm.width = 64;
+    hm.rows = 8;
+    hm.title = "heat-map row, interval " +
+               std::to_string(static_cast<std::uint64_t>(
+                   num_field(body, "interval", row_pos)));
+    os << render_heat_map(counts, hm);
+  }
+  std::fputs(os.str().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+int cmd_watch(const Args& args) {
+  const auto port = static_cast<std::uint16_t>(args.get_u64("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr,
+                 "watch: --port <port> of a serving process is required\n");
+    return 1;
+  }
+  const std::uint64_t interval_ms = args.get_u64("interval-ms", 500);
+  const std::uint64_t iterations = args.get_u64("iterations", 0);  // 0 = ∞
+  // Redraw in place for interactive sessions; --clear 0 appends instead
+  // (the default for a single-shot poll, which is what tests pipe around).
+  const bool clear = args.get_u64("clear", iterations == 1 ? 0 : 1) != 0;
+
+  std::uint64_t polls = 0;
+  std::uint64_t failures = 0;
+  while (iterations == 0 || polls < iterations) {
+    const std::string body = fetch_body(port, "/model");
+    if (body.empty()) {
+      ++failures;
+      if (polls == 0 || failures >= 5) {
+        std::fprintf(stderr,
+                     "watch: no /model response from 127.0.0.1:%u (is a "
+                     "serve process with a model-health monitor running?)\n",
+                     static_cast<unsigned>(port));
+        return 1;
+      }
+    } else {
+      failures = 0;
+      ++polls;
+      if (clear) std::fputs("\033[H\033[2J", stdout);
+      render_dashboard(body, port, polls);
+    }
+    if (iterations != 0 && polls >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: mhm_tool <train|record|ingest|inspect|monitor|simulate"
-               "|metrics|journal|serve|dump> [--flag value]...\n");
+               "|metrics|journal|serve|watch|dump> [--flag value]...\n");
 }
 
 }  // namespace
@@ -701,6 +951,7 @@ int main(int argc, char** argv) {
     if (cmd == "metrics") return cmd_metrics(args);
     if (cmd == "journal") return cmd_journal(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "watch") return cmd_watch(args);
     if (cmd == "dump") return cmd_dump(args);
     if (cmd == "selftest-crash") {
       // Hidden hook for the crash-dump CLI test: arm the recorder exactly
