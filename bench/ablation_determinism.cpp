@@ -50,24 +50,26 @@ int main() {
     std::size_t raw_fp = 0;
     std::size_t filtered_fp = 0;
     AlarmFilter filter(2, 3);
-    for (double d : normal_run.log10_densities) {
+    const std::vector<double> normal_dens = normal_run.log10_densities();
+    for (double d : normal_dens) {
       const bool alarm = d < theta;
       raw_fp += alarm;
       filtered_fp += filter.feed(alarm);
     }
-    const double n = static_cast<double>(normal_run.log10_densities.size());
+    const double n = static_cast<double>(normal_dens.size());
 
     auto attacked_auc = [&](const std::string& name) {
       auto attack = attacks::make_scenario(name);
       pipeline::ScenarioRun run = pipeline::run_scenario(
           cfg, attack.get(), trigger, duration, pipe.detector.get(), 11002);
       std::vector<double> attacked;
+      const std::vector<double> run_dens = run.log10_densities();
       for (std::size_t i = 0; i < run.maps.size(); ++i) {
         if (run.maps[i].interval_index >= run.trigger_interval) {
-          attacked.push_back(run.log10_densities[i]);
+          attacked.push_back(run_dens[i]);
         }
       }
-      return roc_auc(normal_run.log10_densities, attacked);
+      return roc_auc(normal_dens, attacked);
     };
     const double auc_rootkit = attacked_auc("rootkit");
     const double auc_app = attacked_auc("app_addition");

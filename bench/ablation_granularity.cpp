@@ -48,17 +48,19 @@ int main() {
     pipeline::ScenarioRun normal_run = pipeline::run_scenario(
         cfg, nullptr, 0, duration, pipe.detector.get(), 5001);
 
+    const std::vector<double> normal_dens = normal_run.log10_densities();
     auto attacked_auc = [&](const std::string& name) {
       auto attack = attacks::make_scenario(name);
       pipeline::ScenarioRun run = pipeline::run_scenario(
           cfg, attack.get(), trigger, duration, pipe.detector.get(), 5002);
       std::vector<double> attacked_scores;
+      const std::vector<double> run_dens = run.log10_densities();
       for (std::size_t i = 0; i < run.maps.size(); ++i) {
         if (run.maps[i].interval_index >= run.trigger_interval) {
-          attacked_scores.push_back(run.log10_densities[i]);
+          attacked_scores.push_back(run_dens[i]);
         }
       }
-      return roc_auc(normal_run.log10_densities, attacked_scores);
+      return roc_auc(normal_dens, attacked_scores);
     };
 
     const double auc_app = attacked_auc("app_addition");

@@ -101,23 +101,24 @@ int main() {
     pipeline::ScenarioRun normal_run = pipeline::run_scenario(
         cfg, nullptr, 0, duration, pipe.detector.get(), 13001);
     const double theta = pipe.theta_1.log10_value;
+    const std::vector<double> normal_dens = normal_run.log10_densities();
     std::size_t fp = 0;
-    for (double d : normal_run.log10_densities) fp += (d < theta);
-    const double fp_rate =
-        static_cast<double>(fp) /
-        static_cast<double>(normal_run.log10_densities.size());
+    for (double d : normal_dens) fp += (d < theta);
+    const double fp_rate = static_cast<double>(fp) /
+                           static_cast<double>(normal_dens.size());
 
     attacks::AppAdditionAttack attack;
     pipeline::ScenarioRun app = pipeline::run_scenario(
         cfg, &attack, 100 * cfg.monitor.interval, duration,
         pipe.detector.get(), 13002);
     std::vector<double> attacked;
+    const std::vector<double> app_dens = app.log10_densities();
     for (std::size_t i = 0; i < app.maps.size(); ++i) {
       if (app.maps[i].interval_index >= app.trigger_interval) {
-        attacked.push_back(app.log10_densities[i]);
+        attacked.push_back(app_dens[i]);
       }
     }
-    const double auc = roc_auc(normal_run.log10_densities, attacked);
+    const double auc = roc_auc(normal_dens, attacked);
 
     const auto phases = static_cast<std::uint64_t>(hp / cfg.monitor.interval);
     table.add_row({std::to_string(hp / kMillisecond) + " ms",

@@ -52,14 +52,16 @@ int main() {
       return pipeline::run_scenario(cfg, attack.get(), trigger, duration,
                                     pipe.detector.get(), 9002);
     };
+    const std::vector<double> normal_dens = normal_run.log10_densities();
     auto auc_of = [&](const pipeline::ScenarioRun& run) {
       std::vector<double> attacked;
+      const std::vector<double> run_dens = run.log10_densities();
       for (std::size_t i = 0; i < run.maps.size(); ++i) {
         if (run.maps[i].interval_index >= run.trigger_interval) {
-          attacked.push_back(run.log10_densities[i]);
+          attacked.push_back(run_dens[i]);
         }
       }
-      return roc_auc(normal_run.log10_densities, attacked);
+      return roc_auc(normal_dens, attacked);
     };
 
     const pipeline::ScenarioRun app = run_attack("app_addition");

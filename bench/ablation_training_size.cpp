@@ -41,23 +41,24 @@ int main() {
     pipeline::ScenarioRun normal_run = pipeline::run_scenario(
         cfg, nullptr, 0, duration, pipe.detector.get(), 12001);
     const double theta = pipe.theta_1.log10_value;
+    const std::vector<double> normal_dens = normal_run.log10_densities();
     std::size_t fp = 0;
-    for (double d : normal_run.log10_densities) fp += (d < theta);
-    const double fp_rate =
-        static_cast<double>(fp) /
-        static_cast<double>(normal_run.log10_densities.size());
+    for (double d : normal_dens) fp += (d < theta);
+    const double fp_rate = static_cast<double>(fp) /
+                           static_cast<double>(normal_dens.size());
 
     auto attacked_auc = [&](const std::string& name) {
       auto attack = attacks::make_scenario(name);
       pipeline::ScenarioRun run = pipeline::run_scenario(
           cfg, attack.get(), trigger, duration, pipe.detector.get(), 12002);
       std::vector<double> attacked;
+      const std::vector<double> run_dens = run.log10_densities();
       for (std::size_t i = 0; i < run.maps.size(); ++i) {
         if (run.maps[i].interval_index >= run.trigger_interval) {
-          attacked.push_back(run.log10_densities[i]);
+          attacked.push_back(run_dens[i]);
         }
       }
-      return roc_auc(normal_run.log10_densities, attacked);
+      return roc_auc(normal_dens, attacked);
     };
     const double auc_app = attacked_auc("app_addition");
     const double auc_rootkit = attacked_auc("rootkit");

@@ -98,7 +98,7 @@ void print_detection_figure(const pipeline::ScenarioRun& run,
   }
   plot.x_label = "interval index (10 ms each); dashes: theta_0.5 / theta_1; "
                  "bar: attack";
-  std::fputs(render_line_plot(run.log10_densities, plot).c_str(), stdout);
+  std::fputs(render_line_plot(run.log10_densities(), plot).c_str(), stdout);
 
   const double t05 = pipe.theta_05.log10_value;
   const double t1 = pipe.theta_1.log10_value;
@@ -134,10 +134,11 @@ void write_series_csv(const std::string& name,
   const std::string path = name + ".csv";
   CsvWriter csv(path);
   csv.header({"interval", "log10_density", "traffic_volume", "anomalous"});
+  const std::vector<double> dens = run.log10_densities();
   for (std::size_t i = 0; i < run.maps.size(); ++i) {
     csv.row()
         .col(run.maps[i].interval_index)
-        .col(run.log10_densities.empty() ? 0.0 : run.log10_densities[i])
+        .col(dens.empty() ? 0.0 : dens[i])
         .col(run.traffic_volumes[i])
         .col(run.verdicts.empty() ? 0 : static_cast<int>(run.verdicts[i].anomalous));
   }

@@ -40,13 +40,14 @@ int main() {
   // stealth intervals distribute over the 10 hyperperiod phases.
   std::vector<std::size_t> flagged_by_phase(10, 0);
   std::vector<std::size_t> total_by_phase(10, 0);
+  const std::vector<double> dens = run.log10_densities();
   for (std::size_t i = 0; i < run.maps.size(); ++i) {
     const auto idx = run.maps[i].interval_index;
     if (idx <= run.trigger_interval + 1) continue;
     ++stealth_total;
     const auto phase = static_cast<std::size_t>(idx % 10);
     ++total_by_phase[phase];
-    if (run.log10_densities[i] < theta1) {
+    if (dens[i] < theta1) {
       ++stealth_flagged;
       ++flagged_by_phase[phase];
     }

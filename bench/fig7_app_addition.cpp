@@ -54,10 +54,11 @@ int main() {
   const std::uint64_t exit_interval = run.trigger_interval + 122;
   std::size_t tail_alarms = 0;
   std::size_t tail_total = 0;
+  const std::vector<double> dens = run.log10_densities();
   for (std::size_t i = 0; i < run.maps.size(); ++i) {
     if (run.maps[i].interval_index >= exit_interval + 5) {
       ++tail_total;
-      tail_alarms += (run.log10_densities[i] < pipe.theta_1.log10_value);
+      tail_alarms += (dens[i] < pipe.theta_1.log10_value);
     }
   }
   if (tail_total > 0) {

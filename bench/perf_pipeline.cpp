@@ -123,9 +123,9 @@ int main() {
     }
     row.analyze_mean_us = analysis_mean_us();
     for (const auto& run : scenario_runs) {
-      row.probe_scores.insert(row.probe_scores.end(),
-                              run.log10_densities.begin(),
-                              run.log10_densities.end());
+      const std::vector<double> run_dens = run.log10_densities();
+      row.probe_scores.insert(row.probe_scores.end(), run_dens.begin(),
+                              run_dens.end());
     }
     if (threads == counts.back()) {
       overhead_detector = std::make_unique<AnomalyDetector>(std::move(detector));

@@ -47,7 +47,7 @@ ScenarioSummary run_one(const std::string& name,
     plot.hlines = {pipe.theta_05.log10_value, pipe.theta_1.log10_value};
     plot.vlines = {static_cast<double>(run.trigger_interval)};
     plot.height = 16;
-    std::fputs(render_line_plot(run.log10_densities, plot).c_str(), stdout);
+    std::fputs(render_line_plot(run.log10_densities(), plot).c_str(), stdout);
   }
 
   ScenarioSummary s;

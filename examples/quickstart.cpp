@@ -68,7 +68,7 @@ int main() {
   plot.title = "log10 Pr(M) per interval (app addition at the vertical bar)";
   plot.hlines = {trained.theta_05.log10_value, trained.theta_1.log10_value};
   plot.vlines = {static_cast<double>(run.trigger_interval)};
-  std::fputs(render_line_plot(run.log10_densities, plot).c_str(), stdout);
+  std::fputs(render_line_plot(run.log10_densities(), plot).c_str(), stdout);
 
   const obs::Histogram& hist = AnomalyDetector::analysis_time_histogram();
   std::printf("\nMean analysis time per MHM: %.1f us\n",

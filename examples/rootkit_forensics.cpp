@@ -66,7 +66,8 @@ int main() {
   gmm_plot.height = 14;
   gmm_plot.hlines = {pipe.theta_1.log10_value};
   gmm_plot.vlines = {static_cast<double>(run.trigger_interval)};
-  std::fputs(render_line_plot(run.log10_densities, gmm_plot).c_str(), stdout);
+  const std::vector<double> dens = run.log10_densities();
+  std::fputs(render_line_plot(dens, gmm_plot).c_str(), stdout);
 
   // --- forensics on the flagged intervals ---
   std::printf("\nForensic drill-down on flagged intervals:\n");
@@ -107,7 +108,7 @@ int main() {
       }
       table.add_row({std::to_string(map.interval_index),
                      std::to_string(map.interval_index % 10),
-                     fmt_double(run.log10_densities[i], 1),
+                     fmt_double(dens[i], 1),
                      std::to_string(run.verdicts[i].nearest_pattern),
                      best_subsystem + " (|dev| " + fmt_double(best_dev, 0) +
                          ")"});

@@ -7,99 +7,18 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "linalg/vector_ops.hpp"
-#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
-#include "obs/model_health.hpp"
 
 namespace mhm {
 
-namespace {
-
-struct DetectorMetrics {
-  obs::Counter& intervals = obs::Registry::instance().counter(
-      "detector.intervals_analyzed", "MHM intervals scored by analyze()");
-  obs::Counter& alarms = obs::Registry::instance().counter(
-      "detector.alarms", "intervals below the primary threshold");
-  obs::Histogram& analysis_ns = obs::Registry::instance().histogram(
-      "detector.analysis_ns",
-      {1e3, 1e4, 1e5, 1e6, 1e7, 1e8},
-      "wall-clock nanoseconds of projection + density per interval");
-};
-
-DetectorMetrics& detector_metrics() {
-  static DetectorMetrics m;
-  return m;
-}
-
-}  // namespace
-
 obs::Histogram& AnomalyDetector::analysis_time_histogram() {
-  return detector_metrics().analysis_ns;
+  return StreamObserver::analysis_time_histogram();
 }
 
-ThresholdCalibrator::ThresholdCalibrator(std::vector<double> validation_log10)
-    : scores_(std::move(validation_log10)) {
-  if (scores_.empty()) {
-    throw ConfigError("ThresholdCalibrator: empty validation set");
-  }
-}
-
-Threshold ThresholdCalibrator::at(double p) const {
-  if (p <= 0.0 || p >= 1.0) {
-    throw ConfigError("ThresholdCalibrator::at: p must be in (0,1)");
-  }
-  return Threshold{.p = p, .log10_value = quantile(scores_, p)};
-}
-
-AnomalyDetector::AnomalyDetector(Eigenmemory pca, Gmm gmm,
-                                 ThresholdCalibrator calibrator,
-                                 double primary_p)
-    : pca_(std::move(pca)),
-      gmm_(std::move(gmm)),
-      calibrator_(std::move(calibrator)),
-      primary_(calibrator_.at(primary_p)) {
-  init_observers();
-}
-
-void AnomalyDetector::init_observers() {
-  auto& registry = obs::Registry::instance();
-  phase_metrics_.clear();
-  phase_metrics_.reserve(journal_phases_);
-  for (std::size_t p = 0; p < journal_phases_; ++p) {
-    const std::string suffix = std::to_string(p);
-    PhaseMetrics pm;
-    pm.intervals = &registry.counter(
-        "detector.intervals_by_phase." + suffix,
-        "intervals analyzed at hyperperiod phase " + suffix);
-    pm.alarms = &registry.counter(
-        "detector.alarms_by_phase." + suffix,
-        "alarms raised at hyperperiod phase " + suffix);
-    pm.rate = &registry.gauge(
-        "detector.alarm_rate_by_phase." + suffix,
-        "alarms / intervals at hyperperiod phase " + suffix);
-    phase_metrics_.push_back(pm);
-  }
-
-  // The monitor's training baseline is the same validation-score vector
-  // θ_p was calibrated from — persisted by model_io, so assembled
-  // detectors get a monitor too. No re-scoring anywhere.
-  obs::ModelHealthOptions mh = obs::ModelHealthOptions::from_env();
-  if (!mh.attach) {
-    health_ = nullptr;
-    return;
-  }
-  mh.expected_p = primary_.p;
-  std::vector<double> weights;
-  weights.reserve(gmm_.component_count());
-  for (const auto& c : gmm_.components()) weights.push_back(c.weight);
-  health_ = std::make_shared<obs::ModelHealthMonitor>(
-      calibrator_.validation_scores(), std::move(weights), mh);
-}
-
-void AnomalyDetector::set_model_health(
-    std::shared_ptr<obs::ModelHealthMonitor> monitor) {
-  health_ = std::move(monitor);
-}
+AnomalyDetector::AnomalyDetector(std::shared_ptr<const ModelSnapshot> snapshot,
+                                 const StreamObserver::Options& obs_options)
+    : snap_(std::move(snapshot)),
+      observer_(std::make_shared<StreamObserver>(*snap_, obs_options)) {}
 
 AnomalyDetector AnomalyDetector::assemble(Eigenmemory pca, Gmm gmm,
                                           ThresholdCalibrator calibrator,
@@ -109,8 +28,10 @@ AnomalyDetector AnomalyDetector::assemble(Eigenmemory pca, Gmm gmm,
         "AnomalyDetector::assemble: GMM dimension does not match the "
         "eigenmemory count");
   }
-  return AnomalyDetector(std::move(pca), std::move(gmm),
-                         std::move(calibrator), primary_p);
+  return AnomalyDetector(
+      ModelSnapshot::assemble(std::move(pca), std::move(gmm),
+                              std::move(calibrator), primary_p),
+      StreamObserver::Options{});
 }
 
 AnomalyDetector AnomalyDetector::train(
@@ -138,9 +59,6 @@ AnomalyDetector AnomalyDetector::train(
   for (std::size_t i = 0; i < ln_scores.size(); ++i) {
     validation_scores[i] = ln_scores[i] / std::log(10.0);
   }
-  AnomalyDetector det(std::move(pca), std::move(gmm),
-                      ThresholdCalibrator(std::move(validation_scores)),
-                      options.primary_p);
 
   // Per-cell baseline of the raw training maps: alarms are explained in the
   // journal by the cells deviating most (in z) from this baseline.
@@ -160,16 +78,19 @@ AnomalyDetector AnomalyDetector::train(
     }
   }
   for (double& s : baseline->stddev) s = std::sqrt(s * inv_n);
-  det.baseline_ = std::move(baseline);
 
-  if (options.journal_capacity != 0) {
-    det.journal_ =
-        std::make_shared<obs::DecisionJournal>(options.journal_capacity);
-  }
-  det.journal_phases_ = std::max<std::size_t>(1, options.journal_phases);
-  det.journal_top_cells_ = options.journal_top_cells;
-  if (det.journal_phases_ != det.phase_metrics_.size()) det.init_observers();
-  return det;
+  // The observer is built once, with the final phase count from the
+  // options — per-phase metric handles are never re-keyed, so the registry
+  // carries no stale gauges from a pre-override bucket count.
+  StreamObserver::Options obs_options;
+  obs_options.journal_capacity = options.journal_capacity;
+  obs_options.phases = std::max<std::size_t>(1, options.journal_phases);
+  obs_options.top_cells = options.journal_top_cells;
+  return AnomalyDetector(
+      ModelSnapshot::assemble(std::move(pca), std::move(gmm),
+                              ThresholdCalibrator(std::move(validation_scores)),
+                              options.primary_p, std::move(baseline)),
+      obs_options);
 }
 
 AnomalyDetector AnomalyDetector::train(const HeatMapTrace& training,
@@ -185,118 +106,16 @@ AnomalyDetector AnomalyDetector::train(const HeatMapTrace& training,
 }
 
 double AnomalyDetector::score(const std::vector<double>& raw) const {
-  return gmm_.log10_density(pca_.project(raw));
+  return snap_->gmm.log10_density(snap_->pca.project(raw));
 }
 
 Verdict AnomalyDetector::analyze(const std::vector<double>& raw,
                                  std::uint64_t interval_index) const {
-  // Steady-state allocation-free: the scratch buffers are thread_local and
-  // reach their final size on the first interval. One projection + one
-  // responsibilities pass yields density and nearest pattern together
-  // (the serial code evaluated the mixture twice).
-  thread_local std::vector<double> phi;
-  thread_local std::vector<double> reduced;
-  thread_local std::vector<double> gamma;
-  thread_local Gmm::Scratch scratch;
-
-  const auto t0 = std::chrono::steady_clock::now();
-  pca_.project_into(raw, phi, reduced);
-  const double ln_density = gmm_.responsibilities_into(reduced, scratch, gamma);
-  const double log10_density = ln_density / std::log(10.0);
-  const std::size_t pattern = static_cast<std::size_t>(
-      std::max_element(gamma.begin(), gamma.end()) - gamma.begin());
-  const auto t1 = std::chrono::steady_clock::now();
-
-  Verdict v;
-  v.interval_index = interval_index;
-  v.log10_density = log10_density;
-  v.anomalous = log10_density < primary_.log10_value;
-  v.nearest_pattern = pattern;
-  v.analysis_time = std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
-  // SPE from the projection scratch: the basis rows are orthonormal, so the
-  // reconstruction residual ‖Φ − B^T w‖² is ‖Φ‖² − ‖w‖² — no reconstruction,
-  // no allocation. Untimed: analysis_time stays the §5.4 measurement.
-  double phi_sq = 0.0;
-  for (double c : phi) phi_sq += c * c;
-  double w_sq = 0.0;
-  for (double c : reduced) w_sq += c * c;
-  v.spe = std::max(0.0, phi_sq - w_sq);
-
-  if (obs::enabled()) {
-    obs::mark_analysis();
-    DetectorMetrics& m = detector_metrics();
-    m.intervals.add();
-    if (v.anomalous) m.alarms.add();
-    m.analysis_ns.observe(static_cast<double>(v.analysis_time.count()));
-
-    // Hyperperiod-phase-bucketed alarm telemetry: one counter add and one
-    // gauge store per interval, cached handles only.
-    const std::size_t phase =
-        static_cast<std::size_t>(interval_index % journal_phases_);
-    if (phase < phase_metrics_.size()) {
-      const PhaseMetrics& pm = phase_metrics_[phase];
-      pm.intervals->add();
-      if (v.anomalous) pm.alarms->add();
-      pm.rate->set(static_cast<double>(pm.alarms->value()) /
-                   static_cast<double>(pm.intervals->value()));
-    }
-
-    // Model-health monitor: consumes the score/SPE/pattern this call
-    // already computed — the hook adds no E-step work.
-    if (health_ != nullptr) {
-      health_->observe(log10_density, v.spe, pattern, v.anomalous,
-                       interval_index, raw);
-    }
-
-    // The record is thread_local and handed to the journal by swap, so its
-    // vectors trade buffers with the evicted ring slot instead of
-    // allocating — the append path is allocation-free in steady state.
-    thread_local obs::DecisionRecord rec;
-    rec.interval_index = interval_index;
-    rec.phase = interval_index % journal_phases_;
-    rec.reduced_coords = reduced;
-    rec.log10_density = log10_density;
-    rec.threshold = primary_.log10_value;
-    rec.alarm = v.anomalous;
-    rec.nearest_pattern = pattern;
-    rec.top_cells.clear();
-    if (v.anomalous && baseline_ && journal_top_cells_ > 0 &&
-        baseline_->mean.size() == raw.size()) {
-      // Rank cells by |z| against the training baseline — O(L), alarms only.
-      std::vector<std::size_t> order(raw.size());
-      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-      // Cells hold integer fetch counts, so one count is the natural floor
-      // for the spread: a never-touched training cell that lights up scores
-      // z = observed instead of blowing up on a zero stddev.
-      const auto z_of = [&](std::size_t i) {
-        return (raw[i] - baseline_->mean[i]) /
-               std::max(baseline_->stddev[i], 1.0);
-      };
-      const std::size_t keep = std::min(journal_top_cells_, order.size());
-      std::partial_sort(order.begin(),
-                        order.begin() + static_cast<std::ptrdiff_t>(keep),
-                        order.end(), [&](std::size_t a, std::size_t b) {
-                          const double za = std::abs(z_of(a));
-                          const double zb = std::abs(z_of(b));
-                          if (za != zb) return za > zb;
-                          return a < b;
-                        });
-      rec.top_cells.reserve(keep);
-      for (std::size_t r = 0; r < keep; ++r) {
-        const std::size_t i = order[r];
-        rec.top_cells.push_back(obs::CellContribution{
-            .cell = i,
-            .observed = raw[i],
-            .expected = baseline_->mean[i],
-            .z_score = z_of(i)});
-      }
-    }
-    journal_->append_swap(rec);
-    // Crash-safe black box: remember the raw row and, on alarm, leave a
-    // rate-limited .mhmdump on disk. One relaxed load while unarmed.
-    obs::FlightRecorder::instance().note_interval(raw, interval_index,
-                                                  v.anomalous);
-  }
+  // Steady-state allocation-free: the scratch is thread_local so one
+  // detector stays safe to score from several scenario threads at once.
+  thread_local ScoreScratch scratch;
+  const Verdict v = score_snapshot(*snap_, raw, interval_index, scratch);
+  observer_->record(*snap_, v, raw, scratch.reduced);
   return v;
 }
 

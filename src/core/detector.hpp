@@ -1,6 +1,5 @@
 #pragma once
 
-#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -10,60 +9,28 @@
 #include "core/gmm.hpp"
 #include "core/heatmap.hpp"
 #include "core/pca.hpp"
+#include "core/snapshot.hpp"
+#include "core/stream_observer.hpp"
 #include "obs/journal.hpp"
 
 namespace mhm::obs {
 class Histogram;
-class Counter;
-class Gauge;
 class ModelHealthMonitor;
 }  // namespace mhm::obs
 
 namespace mhm {
 
-/// Detection threshold θ_p (paper §5.2): the p-quantile of the log densities
-/// of a held-out set of *normal* MHMs. The expected false-positive rate is p.
-/// The figures draw θ_{0.5} (p = 0.005) and θ_1 (p = 0.01).
-struct Threshold {
-  double p = 0.01;          ///< Quantile level (e.g. 0.005 for θ_{0.5}).
-  double log10_value = 0.0; ///< Threshold on log10 Pr(M).
-};
-
-/// Calibrates one or more θ_p thresholds from validation log-densities.
-class ThresholdCalibrator {
- public:
-  /// `validation_log10` — log10 densities of held-out normal MHMs.
-  explicit ThresholdCalibrator(std::vector<double> validation_log10);
-
-  /// θ at quantile p (p in (0,1)).
-  Threshold at(double p) const;
-
-  /// Shorthands used throughout the evaluation.
-  Threshold theta_05() const { return at(0.005); }  ///< θ_{0.5}
-  Threshold theta_1() const { return at(0.01); }    ///< θ_1
-
-  const std::vector<double>& validation_scores() const { return scores_; }
-
- private:
-  std::vector<double> scores_;
-};
-
-/// Verdict for one analyzed MHM.
-struct Verdict {
-  std::uint64_t interval_index = 0;
-  double log10_density = 0.0;
-  bool anomalous = false;          ///< Against the primary threshold.
-  std::size_t nearest_pattern = 0; ///< Most responsible GMM component.
-  /// PCA residual (squared prediction error): ‖Φ − B^T w‖², the energy the
-  /// eigenmemory basis failed to capture. With an orthonormal basis this is
-  /// ‖Φ‖² − ‖w‖², so it falls out of the projection scratch for free.
-  double spe = 0.0;
-  std::chrono::nanoseconds analysis_time{0};  ///< Secure-core compute time.
-};
-
 /// The complete learning + detection pipeline of the paper (§4):
-/// eigenmemory projection -> GMM density -> threshold test. The secure core
-/// holds one of these and feeds it every completed MHM.
+/// eigenmemory projection -> GMM density -> threshold test.
+///
+/// Since the engine layer landed this is a thin single-stream façade over
+/// the same primitives engine::Session uses: an immutable ModelSnapshot
+/// scored with score_snapshot() and observed through a StreamObserver
+/// (journal, phase metrics, model health). It is kept for API
+/// compatibility — the batch pipeline and the benches drive it directly —
+/// and stays safe to call concurrently from several scenario runs sharing
+/// one detector (thread_local scoring scratch; the observer is shared, as
+/// is its journal).
 class AnomalyDetector {
  public:
   struct Options {
@@ -113,10 +80,14 @@ class AnomalyDetector {
   /// Score only (log10 density), untimed.
   double score(const std::vector<double>& raw) const;
 
-  const Eigenmemory& eigenmemory() const { return pca_; }
-  const Gmm& gmm() const { return gmm_; }
-  const ThresholdCalibrator& thresholds() const { return calibrator_; }
-  Threshold primary_threshold() const { return primary_; }
+  const Eigenmemory& eigenmemory() const { return snap_->pca; }
+  const Gmm& gmm() const { return snap_->gmm; }
+  const ThresholdCalibrator& thresholds() const { return snap_->calibrator; }
+  Threshold primary_threshold() const { return snap_->primary; }
+
+  /// The immutable model this detector scores with — the handle a
+  /// DetectionEngine (or a ModelRegistry save) takes, shared, not copied.
+  std::shared_ptr<const ModelSnapshot> snapshot() const { return snap_; }
 
   /// The process-wide `detector.analysis_ns` registry histogram — every
   /// analyze() call in the process observes into it. Benches and tests that
@@ -126,11 +97,11 @@ class AnomalyDetector {
 
   /// Per-interval decision journal (shared between copies of the detector).
   /// Always present; empty while observability is disabled.
-  obs::DecisionJournal& journal() const { return *journal_; }
+  obs::DecisionJournal& journal() const { return observer_->journal(); }
   /// Shared handle for consumers that outlive this detector object — the
   /// monitoring endpoint and the flight recorder hold one.
   std::shared_ptr<const obs::DecisionJournal> journal_ptr() const {
-    return journal_;
+    return observer_->journal_ptr();
   }
 
   /// Online model-health monitor fed by analyze(): score-drift detectors,
@@ -138,55 +109,31 @@ class AnomalyDetector {
   /// Shared between copies of the detector; null when detached
   /// (set_model_health(nullptr) or MHM_DRIFT_DISABLE=1).
   std::shared_ptr<obs::ModelHealthMonitor> model_health() const {
-    return health_;
+    return observer_->model_health();
   }
   /// Swap or detach (nullptr) the monitor — the perf bench measures the
   /// hook's cost by detaching and re-attaching.
-  void set_model_health(std::shared_ptr<obs::ModelHealthMonitor> monitor);
+  void set_model_health(std::shared_ptr<obs::ModelHealthMonitor> monitor) {
+    observer_->set_model_health(std::move(monitor));
+  }
 
   /// Reassemble from previously trained parts (deserialization): dimension
-  /// compatibility between the PCA output and the GMM is validated.
+  /// compatibility between the PCA output and the GMM is validated. The
+  /// assembled detector carries no CellBaseline (the raw training set is
+  /// gone after serialization), so its journal records have no top_cells.
   static AnomalyDetector assemble(Eigenmemory pca, Gmm gmm,
                                   ThresholdCalibrator calibrator,
                                   double primary_p);
 
  private:
-  AnomalyDetector(Eigenmemory pca, Gmm gmm, ThresholdCalibrator calibrator,
-                  double primary_p);
+  AnomalyDetector(std::shared_ptr<const ModelSnapshot> snapshot,
+                  const StreamObserver::Options& obs_options);
 
-  /// Registry handles for one hyperperiod phase bucket: drift confined to
-  /// one phase of the schedule shows up as that phase's alarm rate
-  /// diverging in /metrics.
-  struct PhaseMetrics {
-    obs::Counter* intervals = nullptr;
-    obs::Counter* alarms = nullptr;
-    obs::Gauge* rate = nullptr;
-  };
-
-  /// (Re)build the per-phase metric handle cache for journal_phases_
-  /// buckets and attach the model-health monitor. Called at construction
-  /// and again by train() after the options override journal_phases_.
-  void init_observers();
-
-  /// Per-cell first/second moments of the raw training maps, used to rank
-  /// the cells that drive an alarm. Absent on assemble()d detectors (the
-  /// raw training set is gone after serialization).
-  struct CellBaseline {
-    std::vector<double> mean;
-    std::vector<double> stddev;
-  };
-
-  Eigenmemory pca_;
-  Gmm gmm_;
-  ThresholdCalibrator calibrator_;
-  Threshold primary_;
-  std::shared_ptr<const CellBaseline> baseline_;
-  std::shared_ptr<obs::DecisionJournal> journal_ =
-      std::make_shared<obs::DecisionJournal>();
-  std::size_t journal_phases_ = 10;
-  std::size_t journal_top_cells_ = 8;
-  std::vector<PhaseMetrics> phase_metrics_;
-  std::shared_ptr<obs::ModelHealthMonitor> health_;
+  std::shared_ptr<const ModelSnapshot> snap_;
+  /// Shared between copies so a copied detector journals into (and reports
+  /// health through) the same stream — the run_scenarios fan-out relies on
+  /// one aggregated journal.
+  std::shared_ptr<StreamObserver> observer_;
 };
 
 /// Baseline detector from Figure 9's discussion: watch only the total

@@ -1,7 +1,11 @@
 #include "core/model_io.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -169,12 +173,28 @@ AnomalyDetector DetectorModel::to_detector() const {
                                    primary_p);
 }
 
+std::shared_ptr<const ModelSnapshot> DetectorModel::to_snapshot(
+    std::uint64_t version) const {
+  return ModelSnapshot::assemble(eigenmemory, gmm,
+                                 ThresholdCalibrator(validation_scores),
+                                 primary_p, nullptr, version);
+}
+
 DetectorModel DetectorModel::from_detector(const AnomalyDetector& detector) {
   DetectorModel model;
   model.eigenmemory = detector.eigenmemory();
   model.gmm = detector.gmm();
   model.validation_scores = detector.thresholds().validation_scores();
   model.primary_p = detector.primary_threshold().p;
+  return model;
+}
+
+DetectorModel DetectorModel::from_snapshot(const ModelSnapshot& snapshot) {
+  DetectorModel model;
+  model.eigenmemory = snapshot.pca;
+  model.gmm = snapshot.gmm;
+  model.validation_scores = snapshot.calibrator.validation_scores();
+  model.primary_p = snapshot.primary.p;
   return model;
 }
 
@@ -213,6 +233,108 @@ DetectorModel load_model(std::istream& in) {
     throw SerializationError("model_io: empty validation score set");
   }
   return model;
+}
+
+namespace {
+
+/// Parse "model-NNNNNN.mhmm" → NNNNNN; nullopt for anything else.
+std::optional<std::uint64_t> parse_registry_name(const std::string& name) {
+  constexpr const char* kPrefix = "model-";
+  constexpr const char* kSuffix = ".mhmm";
+  const std::size_t prefix_len = std::strlen(kPrefix);
+  const std::size_t suffix_len = std::strlen(kSuffix);
+  if (name.size() <= prefix_len + suffix_len) return std::nullopt;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t version = 0;
+  for (std::size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    version = version * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return version;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec || !std::filesystem::is_directory(directory_)) {
+    throw ConfigError("ModelRegistry: cannot open directory " + directory_);
+  }
+}
+
+std::string ModelRegistry::path_for(std::uint64_t version) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "model-%06" PRIu64 ".mhmm", version);
+  return (std::filesystem::path(directory_) / name).string();
+}
+
+std::vector<std::uint64_t> ModelRegistry::list() const {
+  std::vector<std::uint64_t> versions;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (!entry.is_regular_file()) continue;
+    if (auto v = parse_registry_name(entry.path().filename().string())) {
+      versions.push_back(*v);
+    }
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+std::optional<std::uint64_t> ModelRegistry::latest_version() const {
+  const auto versions = list();
+  if (versions.empty()) return std::nullopt;
+  return versions.back();
+}
+
+std::uint64_t ModelRegistry::save(const DetectorModel& model) {
+  const std::uint64_t version = latest_version().value_or(0) + 1;
+  save_model_file(model, path_for(version));
+  return version;
+}
+
+DetectorModel ModelRegistry::load(std::uint64_t version) const {
+  const std::string path = path_for(version);
+  if (!std::filesystem::is_regular_file(path)) {
+    throw SerializationError("ModelRegistry: no version " +
+                             std::to_string(version) + " in " + directory_);
+  }
+  DetectorModel model = load_model_file(path);
+  // The sections deserialize independently; re-validate that they belong
+  // together before anyone builds a scorer from them.
+  if (model.gmm.dimension() != model.eigenmemory.components()) {
+    throw SerializationError(
+        "ModelRegistry: version " + std::to_string(version) +
+        " has a GMM dimension incompatible with its eigenmemory basis");
+  }
+  return model;
+}
+
+DetectorModel ModelRegistry::load_latest() const {
+  const auto latest = latest_version();
+  if (!latest) {
+    throw SerializationError("ModelRegistry: empty registry " + directory_);
+  }
+  return load(*latest);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::load_snapshot(
+    std::uint64_t version) const {
+  return load(version).to_snapshot(version);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::load_latest_snapshot()
+    const {
+  const auto latest = latest_version();
+  if (!latest) {
+    throw SerializationError("ModelRegistry: empty registry " + directory_);
+  }
+  return load_snapshot(*latest);
 }
 
 void save_model_file(const DetectorModel& model, const std::string& path) {

@@ -1,11 +1,15 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/detector.hpp"
 #include "core/gmm.hpp"
 #include "core/pca.hpp"
+#include "core/snapshot.hpp"
 
 namespace mhm {
 
@@ -35,8 +39,16 @@ struct DetectorModel {
   /// Reassemble a working detector (recomputes GMM caches, θ_p).
   AnomalyDetector to_detector() const;
 
+  /// Reassemble an immutable scoring snapshot (the engine-layer artifact);
+  /// `version` becomes the Verdict::model_version stamp. The snapshot
+  /// carries no CellBaseline — the raw training set is not serialized.
+  std::shared_ptr<const ModelSnapshot> to_snapshot(
+      std::uint64_t version = 0) const;
+
   /// Capture a trained detector.
   static DetectorModel from_detector(const AnomalyDetector& detector);
+  /// Capture a snapshot (the CellBaseline, if any, is not serialized).
+  static DetectorModel from_snapshot(const ModelSnapshot& snapshot);
 };
 
 /// Stream I/O.
@@ -46,6 +58,42 @@ DetectorModel load_model(std::istream& in);
 /// File I/O convenience (throws SerializationError / ConfigError).
 void save_model_file(const DetectorModel& model, const std::string& path);
 DetectorModel load_model_file(const std::string& path);
+
+/// Versioned on-disk model store: a directory of `model-NNNNNN.mhmm` files
+/// with monotonically increasing version ids. This is the deployment
+/// hand-off the paper's §2 workflow implies — profiling produces a model
+/// artifact; the secure core (or `mhm_tool replay`, or a DetectionEngine
+/// hot swap) loads it by version. save() never overwrites: each call claims
+/// `latest + 1`. Loads re-validate PCA↔GMM dimension compatibility so a
+/// registry poisoned with mismatched sections is rejected with
+/// SerializationError instead of producing a detector that throws later.
+class ModelRegistry {
+ public:
+  /// Opens (and creates, if missing) the registry directory.
+  explicit ModelRegistry(std::string directory);
+
+  /// Persist a model under the next free version id; returns that id (≥ 1).
+  std::uint64_t save(const DetectorModel& model);
+
+  /// Load one version (throws SerializationError if absent or invalid).
+  DetectorModel load(std::uint64_t version) const;
+  /// Load the highest version (throws SerializationError on empty registry).
+  DetectorModel load_latest() const;
+  /// Convenience: load + to_snapshot, stamped with the registry version.
+  std::shared_ptr<const ModelSnapshot> load_snapshot(
+      std::uint64_t version) const;
+  std::shared_ptr<const ModelSnapshot> load_latest_snapshot() const;
+
+  /// Stored version ids, ascending. Non-model files are ignored.
+  std::vector<std::uint64_t> list() const;
+  std::optional<std::uint64_t> latest_version() const;
+
+  std::string path_for(std::uint64_t version) const;
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string directory_;
+};
 
 /// --- lower-level pieces, exposed for reuse and tests ---
 void save_eigenmemory(const Eigenmemory& em, std::ostream& out);

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/gmm.hpp"
+#include "core/pca.hpp"
+
+namespace mhm {
+
+/// Detection threshold θ_p (paper §5.2): the p-quantile of the log densities
+/// of a held-out set of *normal* MHMs. The expected false-positive rate is p.
+/// The figures draw θ_{0.5} (p = 0.005) and θ_1 (p = 0.01).
+struct Threshold {
+  double p = 0.01;          ///< Quantile level (e.g. 0.005 for θ_{0.5}).
+  double log10_value = 0.0; ///< Threshold on log10 Pr(M).
+};
+
+/// Calibrates one or more θ_p thresholds from validation log-densities.
+class ThresholdCalibrator {
+ public:
+  /// `validation_log10` — log10 densities of held-out normal MHMs.
+  explicit ThresholdCalibrator(std::vector<double> validation_log10);
+
+  /// θ at quantile p (p in (0,1)).
+  Threshold at(double p) const;
+
+  /// Shorthands used throughout the evaluation.
+  Threshold theta_05() const { return at(0.005); }  ///< θ_{0.5}
+  Threshold theta_1() const { return at(0.01); }    ///< θ_1
+
+  const std::vector<double>& validation_scores() const { return scores_; }
+
+ private:
+  std::vector<double> scores_;
+};
+
+/// Verdict for one analyzed MHM.
+struct Verdict {
+  std::uint64_t interval_index = 0;
+  double log10_density = 0.0;
+  bool anomalous = false;          ///< Against the primary threshold.
+  std::size_t nearest_pattern = 0; ///< Most responsible GMM component.
+  /// PCA residual (squared prediction error): ‖Φ − B^T w‖², the energy the
+  /// eigenmemory basis failed to capture. With an orthonormal basis this is
+  /// ‖Φ‖² − ‖w‖², so it falls out of the projection scratch for free.
+  double spe = 0.0;
+  /// Version of the ModelSnapshot that scored this interval — after a hot
+  /// model swap the stamp flips at the interval boundary where the session
+  /// picked the new model up.
+  std::uint64_t model_version = 0;
+  std::chrono::nanoseconds analysis_time{0};  ///< Secure-core compute time.
+};
+
+/// Per-cell first/second moments of the raw training maps, used to rank the
+/// cells that drive an alarm in the decision journal. Absent (null) on
+/// models reassembled from serialized parts — the raw training set is gone
+/// after serialization, so assembled detectors journal no top_cells.
+struct CellBaseline {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+};
+
+/// The immutable, shareable artifact of training: everything needed to score
+/// an MHM stream. The engine layer hands one `shared_ptr<const ModelSnapshot>`
+/// to any number of concurrent sessions; hot model swap is a pointer swap.
+struct ModelSnapshot {
+  Eigenmemory pca;
+  Gmm gmm;
+  ThresholdCalibrator calibrator;
+  Threshold primary;
+  std::shared_ptr<const CellBaseline> baseline;  ///< Null when assembled.
+  /// Model artifact version (registry id, or 0 for ad-hoc in-process
+  /// models). Stamped on every Verdict scored against this snapshot.
+  std::uint64_t version = 0;
+
+  /// Build a snapshot from trained parts, validating that the GMM operates
+  /// in the eigenmemory's reduced space (throws ConfigError otherwise).
+  static std::shared_ptr<const ModelSnapshot> assemble(
+      Eigenmemory pca, Gmm gmm, ThresholdCalibrator calibrator,
+      double primary_p,
+      std::shared_ptr<const CellBaseline> baseline = nullptr,
+      std::uint64_t version = 0);
+};
+
+/// Per-stream scoring scratch: reaches its final size on the first interval,
+/// then every score is allocation-free. One per session / per thread — never
+/// shared across concurrent scorers.
+struct ScoreScratch {
+  std::vector<double> phi;      ///< Mean-shifted map Φ.
+  std::vector<double> reduced;  ///< Projected weights w (M').
+  std::vector<double> gamma;    ///< Per-component responsibilities.
+  Gmm::Scratch gmm;
+};
+
+/// Score one raw MHM against a snapshot: project, evaluate the mixture,
+/// compare against the primary threshold. Timed — `Verdict::analysis_time`
+/// is the wall-clock cost of projection + density (the §5.4 measurement);
+/// the SPE falls out of the projection scratch untimed. Pure: no metrics, no
+/// journal — observation is the StreamObserver's job.
+Verdict score_snapshot(const ModelSnapshot& snapshot,
+                       std::span<const double> raw,
+                       std::uint64_t interval_index, ScoreScratch& scratch);
+
+}  // namespace mhm

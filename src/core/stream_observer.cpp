@@ -1,0 +1,165 @@
+#include "core/stream_observer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/model_health.hpp"
+
+namespace mhm {
+
+namespace {
+
+struct DetectorMetrics {
+  obs::Counter& intervals = obs::Registry::instance().counter(
+      "detector.intervals_analyzed", "MHM intervals scored by analyze()");
+  obs::Counter& alarms = obs::Registry::instance().counter(
+      "detector.alarms", "intervals below the primary threshold");
+  obs::Histogram& analysis_ns = obs::Registry::instance().histogram(
+      "detector.analysis_ns",
+      {1e3, 1e4, 1e5, 1e6, 1e7, 1e8},
+      "wall-clock nanoseconds of projection + density per interval");
+};
+
+DetectorMetrics& detector_metrics() {
+  static DetectorMetrics m;
+  return m;
+}
+
+std::shared_ptr<obs::ModelHealthMonitor> build_health(
+    const ModelSnapshot& snapshot) {
+  // The monitor's training baseline is the same validation-score vector
+  // θ_p was calibrated from — persisted by model_io, so assembled models
+  // get a monitor too. No re-scoring anywhere.
+  obs::ModelHealthOptions mh = obs::ModelHealthOptions::from_env();
+  if (!mh.attach) return nullptr;
+  mh.expected_p = snapshot.primary.p;
+  std::vector<double> weights;
+  weights.reserve(snapshot.gmm.component_count());
+  for (const auto& c : snapshot.gmm.components()) weights.push_back(c.weight);
+  return std::make_shared<obs::ModelHealthMonitor>(
+      snapshot.calibrator.validation_scores(), std::move(weights), mh);
+}
+
+}  // namespace
+
+obs::Histogram& StreamObserver::analysis_time_histogram() {
+  return detector_metrics().analysis_ns;
+}
+
+StreamObserver::StreamObserver(const ModelSnapshot& snapshot,
+                               const Options& options)
+    : journal_(options.journal_capacity != 0
+                   ? std::make_shared<obs::DecisionJournal>(
+                         options.journal_capacity)
+                   : std::make_shared<obs::DecisionJournal>()),
+      phases_(std::max<std::size_t>(1, options.phases)),
+      top_cells_(options.top_cells) {
+  auto& registry = obs::Registry::instance();
+  phase_metrics_.reserve(phases_);
+  for (std::size_t p = 0; p < phases_; ++p) {
+    const std::string suffix = std::to_string(p);
+    PhaseMetrics pm;
+    pm.intervals = &registry.counter(
+        "detector.intervals_by_phase." + suffix,
+        "intervals analyzed at hyperperiod phase " + suffix);
+    pm.alarms = &registry.counter(
+        "detector.alarms_by_phase." + suffix,
+        "alarms raised at hyperperiod phase " + suffix);
+    pm.rate = &registry.gauge(
+        "detector.alarm_rate_by_phase." + suffix,
+        "alarms / intervals at hyperperiod phase " + suffix);
+    phase_metrics_.push_back(pm);
+  }
+  health_ = build_health(snapshot);
+}
+
+void StreamObserver::rebind(const ModelSnapshot& snapshot) {
+  health_ = build_health(snapshot);
+}
+
+void StreamObserver::record(const ModelSnapshot& snapshot,
+                            const Verdict& verdict,
+                            const std::vector<double>& raw,
+                            const std::vector<double>& reduced) {
+  if (!obs::enabled()) return;
+  obs::mark_analysis();
+  DetectorMetrics& m = detector_metrics();
+  m.intervals.add();
+  if (verdict.anomalous) m.alarms.add();
+  m.analysis_ns.observe(static_cast<double>(verdict.analysis_time.count()));
+
+  // Hyperperiod-phase-bucketed alarm telemetry: one counter add and one
+  // gauge store per interval, cached handles only.
+  const std::size_t phase =
+      static_cast<std::size_t>(verdict.interval_index % phases_);
+  if (phase < phase_metrics_.size()) {
+    const PhaseMetrics& pm = phase_metrics_[phase];
+    pm.intervals->add();
+    if (verdict.anomalous) pm.alarms->add();
+    pm.rate->set(static_cast<double>(pm.alarms->value()) /
+                 static_cast<double>(pm.intervals->value()));
+  }
+
+  // Model-health monitor: consumes the score/SPE/pattern the scoring call
+  // already computed — the hook adds no E-step work.
+  if (health_ != nullptr) {
+    health_->observe(verdict.log10_density, verdict.spe,
+                     verdict.nearest_pattern, verdict.anomalous,
+                     verdict.interval_index, raw);
+  }
+
+  // The record is thread_local and handed to the journal by swap, so its
+  // vectors trade buffers with the evicted ring slot instead of
+  // allocating — the append path is allocation-free in steady state.
+  thread_local obs::DecisionRecord rec;
+  rec.interval_index = verdict.interval_index;
+  rec.phase = verdict.interval_index % phases_;
+  rec.reduced_coords = reduced;
+  rec.log10_density = verdict.log10_density;
+  rec.threshold = snapshot.primary.log10_value;
+  rec.alarm = verdict.anomalous;
+  rec.nearest_pattern = verdict.nearest_pattern;
+  rec.model_version = verdict.model_version;
+  rec.top_cells.clear();
+  const CellBaseline* baseline = snapshot.baseline.get();
+  if (verdict.anomalous && baseline != nullptr && top_cells_ > 0 &&
+      baseline->mean.size() == raw.size()) {
+    // Rank cells by |z| against the training baseline — O(L), alarms only.
+    std::vector<std::size_t> order(raw.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    // Cells hold integer fetch counts, so one count is the natural floor
+    // for the spread: a never-touched training cell that lights up scores
+    // z = observed instead of blowing up on a zero stddev.
+    const auto z_of = [&](std::size_t i) {
+      return (raw[i] - baseline->mean[i]) / std::max(baseline->stddev[i], 1.0);
+    };
+    const std::size_t keep = std::min(top_cells_, order.size());
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(keep),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        const double za = std::abs(z_of(a));
+                        const double zb = std::abs(z_of(b));
+                        if (za != zb) return za > zb;
+                        return a < b;
+                      });
+    rec.top_cells.reserve(keep);
+    for (std::size_t r = 0; r < keep; ++r) {
+      const std::size_t i = order[r];
+      rec.top_cells.push_back(obs::CellContribution{.cell = i,
+                                                    .observed = raw[i],
+                                                    .expected =
+                                                        baseline->mean[i],
+                                                    .z_score = z_of(i)});
+    }
+  }
+  journal_->append_swap(rec);
+  // Crash-safe black box: remember the raw row and, on alarm, leave a
+  // rate-limited .mhmdump on disk. One relaxed load while unarmed.
+  obs::FlightRecorder::instance().note_interval(raw, verdict.interval_index,
+                                                verdict.anomalous);
+}
+
+}  // namespace mhm

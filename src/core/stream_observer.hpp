@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "obs/journal.hpp"
+
+namespace mhm::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class ModelHealthMonitor;
+}  // namespace mhm::obs
+
+namespace mhm {
+
+/// Per-stream observation bundle: the decision journal, the hyperperiod-
+/// phase metric handles and the model-health monitor that ride on one
+/// scored MHM stream. Both the single-stream AnomalyDetector façade and
+/// every engine::Session carry one, so a stream's telemetry travels with
+/// the stream instead of hanging off a process-global detector.
+///
+/// The journal and the health monitor are per-observer (per-stream); the
+/// counters and gauges resolve through the process-wide Registry by name,
+/// so concurrent streams aggregate into the same /metrics series.
+class StreamObserver {
+ public:
+  struct Options {
+    /// Decision-journal ring capacity (0 keeps the journal default).
+    std::size_t journal_capacity = 0;
+    /// Modulus for the journal's hyperperiod-phase label. The phase metric
+    /// handles are registered once, here, under this final count — never
+    /// re-keyed — so no stale per-phase gauges are left in the registry.
+    std::size_t phases = 10;
+    /// Cells ranked by |z| against the training baseline in each alarm's
+    /// journal record (0 disables the per-alarm explanation).
+    std::size_t top_cells = 8;
+  };
+
+  /// Builds the phase handle cache and (unless MHM_DRIFT_DISABLE=1) a
+  /// ModelHealthMonitor seeded from the snapshot's validation scores and
+  /// mixture weights.
+  StreamObserver(const ModelSnapshot& snapshot, const Options& options);
+
+  /// Record one scored interval: process + per-phase metrics, model-health
+  /// observation, journal append, flight-recorder note. `raw` and `reduced`
+  /// are the map and its projection from the scoring call — nothing is
+  /// re-scored. No-op while observability is disabled. Thread-safe: the
+  /// façade shares one observer across concurrent scenario threads.
+  void record(const ModelSnapshot& snapshot, const Verdict& verdict,
+              const std::vector<double>& raw,
+              const std::vector<double>& reduced);
+
+  /// Rebuild the model-health monitor against a new snapshot (hot model
+  /// swap): the health baseline always belongs to the model being scored
+  /// with. The journal and phase handles are untouched.
+  void rebind(const ModelSnapshot& snapshot);
+
+  obs::DecisionJournal& journal() const { return *journal_; }
+  std::shared_ptr<const obs::DecisionJournal> journal_ptr() const {
+    return journal_;
+  }
+
+  std::shared_ptr<obs::ModelHealthMonitor> model_health() const {
+    return health_;
+  }
+  void set_model_health(std::shared_ptr<obs::ModelHealthMonitor> monitor) {
+    health_ = std::move(monitor);
+  }
+
+  std::size_t phases() const { return phases_; }
+
+  /// The process-wide `detector.analysis_ns` registry histogram — every
+  /// recorded verdict observes into it.
+  static obs::Histogram& analysis_time_histogram();
+
+ private:
+  /// Registry handles for one hyperperiod phase bucket: drift confined to
+  /// one phase of the schedule shows up as that phase's alarm rate
+  /// diverging in /metrics.
+  struct PhaseMetrics {
+    obs::Counter* intervals = nullptr;
+    obs::Counter* alarms = nullptr;
+    obs::Gauge* rate = nullptr;
+  };
+
+  std::shared_ptr<obs::DecisionJournal> journal_;
+  std::size_t phases_ = 10;
+  std::size_t top_cells_ = 8;
+  std::vector<PhaseMetrics> phase_metrics_;
+  std::shared_ptr<obs::ModelHealthMonitor> health_;
+};
+
+}  // namespace mhm

@@ -1,0 +1,135 @@
+#include "engine/engine.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace mhm::engine {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Gauge& model_version = obs::Registry::instance().gauge(
+      "engine.model_version", "version of the currently published model");
+  obs::Counter& model_swaps = obs::Registry::instance().counter(
+      "engine.model_swaps", "hot model swaps published by swap_model()");
+  obs::Counter& sessions = obs::Registry::instance().counter(
+      "engine.sessions_opened", "scoring sessions vended by new_session()");
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m;
+  return m;
+}
+
+void validate_snapshot(const ModelSnapshot& snapshot) {
+  if (snapshot.gmm.dimension() != snapshot.pca.components()) {
+    throw ConfigError(
+        "DetectionEngine: GMM dimension does not match the eigenmemory "
+        "count");
+  }
+}
+
+}  // namespace
+
+DetectionEngine::DetectionEngine(
+    std::shared_ptr<const ModelSnapshot> snapshot)
+    : shared_(std::make_shared<detail::EngineShared>()) {
+  if (snapshot == nullptr) {
+    throw ConfigError("DetectionEngine: null model snapshot");
+  }
+  validate_snapshot(*snapshot);
+  engine_metrics().model_version.set(
+      static_cast<double>(snapshot->version));
+  shared_->current = std::move(snapshot);
+}
+
+void DetectionEngine::swap_model(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    throw ConfigError("DetectionEngine::swap_model: null model snapshot");
+  }
+  validate_snapshot(*snapshot);
+  std::lock_guard<std::mutex> lk(shared_->mu);
+  if (snapshot->pca.input_dim() != shared_->current->pca.input_dim()) {
+    throw ConfigError(
+        "DetectionEngine::swap_model: new model expects a different cell "
+        "count (L) than the running one");
+  }
+  EngineMetrics& m = engine_metrics();
+  m.model_version.set(static_cast<double>(snapshot->version));
+  m.model_swaps.add();
+  shared_->current = std::move(snapshot);
+  // Publish after the pointer is in place: a session observing the new
+  // epoch is guaranteed to read the new snapshot under the mutex.
+  shared_->epoch.fetch_add(1, std::memory_order_release);
+}
+
+std::shared_ptr<const ModelSnapshot> DetectionEngine::current_model() const {
+  std::lock_guard<std::mutex> lk(shared_->mu);
+  return shared_->current;
+}
+
+Session DetectionEngine::new_session(const SessionOptions& options) const {
+  engine_metrics().sessions.add();
+  return Session(shared_, options);
+}
+
+Session::Session(std::shared_ptr<detail::EngineShared> shared,
+                 const SessionOptions& options)
+    : shared_(std::move(shared)) {
+  std::lock_guard<std::mutex> lk(shared_->mu);
+  snap_ = shared_->current;
+  epoch_ = shared_->epoch.load(std::memory_order_acquire);
+  StreamObserver::Options obs_options;
+  obs_options.journal_capacity = options.journal_capacity;
+  obs_options.phases = options.phases;
+  obs_options.top_cells = options.top_cells;
+  observer_ = std::make_unique<StreamObserver>(*snap_, obs_options);
+}
+
+void Session::refresh_model(std::uint64_t interval_index) {
+  std::shared_ptr<const ModelSnapshot> fresh;
+  std::uint64_t fresh_epoch;
+  {
+    std::lock_guard<std::mutex> lk(shared_->mu);
+    fresh = shared_->current;
+    fresh_epoch = shared_->epoch.load(std::memory_order_acquire);
+  }
+  transitions_.push_back(ModelTransition{.interval_index = interval_index,
+                                         .from_version = snap_->version,
+                                         .to_version = fresh->version});
+  // The health baseline belongs to the model being scored with: rebind
+  // builds a fresh monitor from the new snapshot's validation scores.
+  observer_->rebind(*fresh);
+  snap_ = std::move(fresh);
+  epoch_ = fresh_epoch;
+}
+
+Verdict Session::analyze(const std::vector<double>& raw,
+                         std::uint64_t interval_index) {
+  // Interval-boundary pickup: one relaxed load per interval; the swap is
+  // adopted before this map is scored, so no map is ever dropped or scored
+  // against a retired snapshot after the boundary.
+  if (shared_->epoch.load(std::memory_order_acquire) != epoch_) {
+    refresh_model(interval_index);
+  }
+  const Verdict v = score_snapshot(*snap_, raw, interval_index, scratch_);
+  observer_->record(*snap_, v, raw, scratch_.reduced);
+  return v;
+}
+
+Verdict Session::analyze(const HeatMap& map) {
+  return analyze(map.as_vector(), map.interval_index);
+}
+
+std::vector<Verdict> Session::run(IntervalSource& source) {
+  std::vector<Verdict> verdicts;
+  while (auto item = source.next()) {
+    verdicts.push_back(analyze(item->map));
+  }
+  return verdicts;
+}
+
+}  // namespace mhm::engine

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "core/stream_observer.hpp"
+#include "engine/source.hpp"
+
+namespace mhm::engine {
+
+namespace detail {
+
+/// State shared between an engine and its sessions. `epoch` is bumped on
+/// every swap so a session can detect staleness with one relaxed-cheap
+/// atomic load per interval and only takes the mutex on an actual change.
+struct EngineShared {
+  mutable std::mutex mu;
+  std::shared_ptr<const ModelSnapshot> current;  ///< Guarded by mu.
+  std::atomic<std::uint64_t> epoch{0};
+};
+
+}  // namespace detail
+
+/// Per-session knobs — mirrors AnomalyDetector::Options' journal fields.
+struct SessionOptions {
+  std::size_t journal_capacity = 0;  ///< 0 keeps the journal default.
+  std::size_t phases = 10;           ///< Hyperperiod-phase modulus.
+  std::size_t top_cells = 8;         ///< Per-alarm cell explanations.
+};
+
+/// One hot model swap as a session saw it: the first interval scored with
+/// the new snapshot, and the version stamps on either side.
+struct ModelTransition {
+  std::uint64_t interval_index = 0;
+  std::uint64_t from_version = 0;
+  std::uint64_t to_version = 0;
+};
+
+/// One monitored MHM stream. Sessions are vended by a DetectionEngine and
+/// are single-threaded by design — each carries its own scoring scratch,
+/// decision journal, phase-metric handles and model-health monitor, so any
+/// number of sessions score concurrently without sharing mutable state.
+/// Run N sessions over the same trace and each produces verdicts
+/// bit-identical to a lone serial session.
+///
+/// A swap_model() on the engine is picked up at the next analyze() call —
+/// the interval boundary — without dropping a map: the session re-reads the
+/// shared snapshot pointer, rebinds its health monitor to the new model's
+/// baseline, and logs a ModelTransition. Verdicts and journal records carry
+/// the model_version stamp, so the transition is visible in the journal.
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  Verdict analyze(const HeatMap& map);
+  Verdict analyze(const std::vector<double>& raw,
+                  std::uint64_t interval_index);
+
+  /// Drain a source, one verdict per interval.
+  std::vector<Verdict> run(IntervalSource& source);
+
+  /// The snapshot the next interval will be scored with (refreshed lazily —
+  /// a pending swap is only visible here after the pickup boundary).
+  const ModelSnapshot& model() const { return *snap_; }
+  std::uint64_t model_version() const { return snap_->version; }
+
+  /// Hot swaps this session has picked up, oldest first.
+  const std::vector<ModelTransition>& transitions() const {
+    return transitions_;
+  }
+
+  obs::DecisionJournal& journal() const { return observer_->journal(); }
+  std::shared_ptr<const obs::DecisionJournal> journal_ptr() const {
+    return observer_->journal_ptr();
+  }
+  std::shared_ptr<obs::ModelHealthMonitor> model_health() const {
+    return observer_->model_health();
+  }
+
+ private:
+  friend class DetectionEngine;
+  Session(std::shared_ptr<detail::EngineShared> shared,
+          const SessionOptions& options);
+
+  void refresh_model(std::uint64_t interval_index);
+
+  std::shared_ptr<detail::EngineShared> shared_;
+  std::shared_ptr<const ModelSnapshot> snap_;
+  std::uint64_t epoch_ = 0;
+  ScoreScratch scratch_;
+  std::unique_ptr<StreamObserver> observer_;
+  std::vector<ModelTransition> transitions_;
+};
+
+/// The serving-shaped core of the reproduction: owns the current immutable
+/// ModelSnapshot and vends independent scoring Sessions. The engine itself
+/// holds no scratch and no journal — it is safe to share across threads;
+/// all mutable per-stream state lives in the sessions.
+class DetectionEngine {
+ public:
+  explicit DetectionEngine(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// Atomically publish a new model. Running sessions pick it up at their
+  /// next interval boundary. Validates that the snapshot is internally
+  /// consistent and operates on the same cell count as the current model
+  /// (throws ConfigError otherwise). Exports `engine.model_version` and
+  /// bumps `engine.model_swaps`.
+  void swap_model(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  std::shared_ptr<const ModelSnapshot> current_model() const;
+  std::uint64_t model_version() const { return current_model()->version; }
+
+  Session new_session(const SessionOptions& options = {}) const;
+
+ private:
+  std::shared_ptr<detail::EngineShared> shared_;
+};
+
+}  // namespace mhm::engine

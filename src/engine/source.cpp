@@ -1,0 +1,21 @@
+#include "engine/source.hpp"
+
+namespace mhm::engine {
+
+std::optional<SourceItem> VectorSource::next() {
+  if (pos_ >= maps_.size()) return std::nullopt;
+  const HeatMap& map = maps_[pos_++];
+  return SourceItem{.interval_index = map.interval_index, .map = map};
+}
+
+TraceReplaySource TraceReplaySource::from_file(const std::string& path) {
+  return TraceReplaySource(load_trace_file(path));
+}
+
+std::optional<SourceItem> TraceReplaySource::next() {
+  if (pos_ >= trace_.maps.size()) return std::nullopt;
+  const HeatMap& map = trace_.maps[pos_++];
+  return SourceItem{.interval_index = map.interval_index, .map = map};
+}
+
+}  // namespace mhm::engine

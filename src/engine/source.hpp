@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/heatmap.hpp"
+#include "core/trace_io.hpp"
+
+namespace mhm::engine {
+
+/// One interval's worth of input to a detection session.
+struct SourceItem {
+  std::uint64_t interval_index = 0;
+  HeatMap map;
+};
+
+/// Pull-based stream of completed monitoring intervals. Detection is
+/// decoupled from where maps come from: a live simulated system, a recorded
+/// trace on disk, or an in-memory vector all look the same to a Session.
+/// Sources are single-consumer and stateful; next() returns nullopt when
+/// the stream is exhausted.
+class IntervalSource {
+ public:
+  virtual ~IntervalSource() = default;
+
+  virtual std::optional<SourceItem> next() = 0;
+};
+
+/// In-memory source over a plain map vector — the test seam.
+class VectorSource final : public IntervalSource {
+ public:
+  explicit VectorSource(HeatMapTrace maps) : maps_(std::move(maps)) {}
+
+  std::optional<SourceItem> next() override;
+
+  /// Restart the stream from the first map (replays retain the maps).
+  void rewind() { pos_ = 0; }
+  std::size_t size() const { return maps_.size(); }
+
+ private:
+  HeatMapTrace maps_;
+  std::size_t pos_ = 0;
+};
+
+/// Replay of a recorded trace (core/trace_io): offline rescoring of a
+/// deployment capture, with the MhmConfig it was recorded under attached.
+class TraceReplaySource final : public IntervalSource {
+ public:
+  explicit TraceReplaySource(RecordedTrace trace) : trace_(std::move(trace)) {}
+  explicit TraceReplaySource(HeatMapTrace maps) {
+    trace_.maps = std::move(maps);
+  }
+  /// Load a .mhmt trace file (throws SerializationError / ConfigError).
+  static TraceReplaySource from_file(const std::string& path);
+
+  std::optional<SourceItem> next() override;
+
+  void rewind() { pos_ = 0; }
+  std::size_t size() const { return trace_.maps.size(); }
+  const MhmConfig& config() const { return trace_.config; }
+  const HeatMapTrace& maps() const { return trace_.maps; }
+
+ private:
+  RecordedTrace trace_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mhm::engine

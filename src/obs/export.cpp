@@ -139,7 +139,8 @@ std::string decision_json(const DecisionRecord& r) {
      << ",\"log10_density\":" << json_number(r.log10_density)
      << ",\"threshold\":" << json_number(r.threshold)
      << ",\"alarm\":" << (r.alarm ? "true" : "false")
-     << ",\"nearest_pattern\":" << r.nearest_pattern << ",\"reduced\":[";
+     << ",\"nearest_pattern\":" << r.nearest_pattern
+     << ",\"model_version\":" << r.model_version << ",\"reduced\":[";
   for (std::size_t i = 0; i < r.reduced_coords.size(); ++i) {
     if (i > 0) os << ",";
     os << json_number(r.reduced_coords[i]);

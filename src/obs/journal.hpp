@@ -37,6 +37,10 @@ struct DecisionRecord {
   double threshold = 0.0;              ///< θ_p the density was compared to.
   bool alarm = false;
   std::size_t nearest_pattern = 0;     ///< Most responsible GMM component.
+  /// Version of the model snapshot that scored this interval: after a hot
+  /// model swap the stamp flips at the pickup boundary, so the journal
+  /// records the transition.
+  std::uint64_t model_version = 0;
   /// Top deviating cells (|z| descending). Filled only for alarms, and only
   /// when the detector carries a per-cell training baseline.
   std::vector<CellContribution> top_cells;

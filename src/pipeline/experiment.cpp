@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "engine/sim_source.hpp"
 #include "obs/metrics.hpp"
 #include "obs/server.hpp"
 #include "obs/trace.hpp"
@@ -98,13 +99,15 @@ HeatMapTrace collect_normal_trace(const sim::SystemConfig& config,
       sim::SystemConfig cfg = config;
       cfg.seed = plan.seed_base + run;
       sim::System system(cfg);
-      system.run_for(plan.run_duration);
-      HeatMapTrace trace = system.take_trace();
-      const std::size_t skip = std::min(plan.warmup_intervals, trace.size());
-      per_run[run].assign(
-          std::make_move_iterator(trace.begin() +
-                                  static_cast<std::ptrdiff_t>(skip)),
-          std::make_move_iterator(trace.end()));
+      // Pull the run's maps through the engine-layer source (chunked
+      // stepping is bit-identical to one long run_for) and drop the
+      // cold-start transient as each map arrives.
+      engine::SimIntervalSource source(system, plan.run_duration);
+      std::size_t seen = 0;
+      while (auto item = source.next()) {
+        if (seen++ < plan.warmup_intervals) continue;
+        per_run[run].push_back(std::move(item->map));
+      }
     }
   });
   std::size_t total = 0;
@@ -128,12 +131,18 @@ std::size_t ScenarioRun::intervals_after_trigger() const {
   return maps.size() - intervals_before_trigger();
 }
 
+std::vector<double> ScenarioRun::log10_densities() const {
+  std::vector<double> scores;
+  scores.reserve(verdicts.size());
+  for (const auto& v : verdicts) scores.push_back(v.log10_density);
+  return scores;
+}
+
 std::size_t ScenarioRun::false_positives_before_trigger(
     double threshold) const {
   std::size_t n = 0;
-  for (std::size_t i = 0; i < maps.size(); ++i) {
-    if (maps[i].interval_index < trigger_interval &&
-        log10_densities[i] < threshold) {
+  for (const auto& v : verdicts) {
+    if (v.interval_index < trigger_interval && v.log10_density < threshold) {
       ++n;
     }
   }
@@ -142,9 +151,8 @@ std::size_t ScenarioRun::false_positives_before_trigger(
 
 std::size_t ScenarioRun::detections_after_trigger(double threshold) const {
   std::size_t n = 0;
-  for (std::size_t i = 0; i < maps.size(); ++i) {
-    if (maps[i].interval_index >= trigger_interval &&
-        log10_densities[i] < threshold) {
+  for (const auto& v : verdicts) {
+    if (v.interval_index >= trigger_interval && v.log10_density < threshold) {
       ++n;
     }
   }
@@ -153,10 +161,9 @@ std::size_t ScenarioRun::detections_after_trigger(double threshold) const {
 
 std::optional<std::uint64_t> ScenarioRun::detection_latency(
     double threshold) const {
-  for (std::size_t i = 0; i < maps.size(); ++i) {
-    if (maps[i].interval_index >= trigger_interval &&
-        log10_densities[i] < threshold) {
-      return maps[i].interval_index - trigger_interval;
+  for (const auto& v : verdicts) {
+    if (v.interval_index >= trigger_interval && v.log10_density < threshold) {
+      return v.interval_index - trigger_interval;
     }
   }
   return std::nullopt;
@@ -182,17 +189,19 @@ ScenarioRun run_scenario(const sim::SystemConfig& config,
 
   if (attack != nullptr) attack->arm(system, trigger_time);
 
-  // Secure-core hook: analyze every interval as the Memometer finishes it.
-  system.set_interval_observer([&](const HeatMap& map) {
+  // Secure-core loop, serving-shaped: pull each completed interval from the
+  // engine-layer source and score it as the Memometer finishes it. The
+  // detector façade journals and reports health exactly as a live session
+  // would; the simulation itself never sees the verdicts, so pulling is
+  // bit-identical to the old push-style observer.
+  engine::SimIntervalSource source(system, duration);
+  while (auto item = source.next()) {
     result.traffic_volumes.push_back(
-        static_cast<double>(map.total_accesses()));
+        static_cast<double>(item->map.total_accesses()));
     if (detector != nullptr) {
-      Verdict v = detector->analyze(map);
-      result.log10_densities.push_back(v.log10_density);
-      result.verdicts.push_back(v);
+      result.verdicts.push_back(detector->analyze(item->map));
     }
-  });
-  system.run_for(duration);
+  }
   result.maps = system.take_trace();
   return result;
 }
@@ -226,10 +235,12 @@ std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
       const std::size_t done = completed.fetch_add(1) + 1;
       metrics.scenarios_run.add();
       metrics.scenarios_completed.set(static_cast<double>(done));
-      if (!results[s].log10_densities.empty()) {
-        metrics.scenario_min_density.observe(
-            *std::min_element(results[s].log10_densities.begin(),
-                              results[s].log10_densities.end()));
+      if (!results[s].verdicts.empty()) {
+        double min_density = results[s].verdicts.front().log10_density;
+        for (const auto& v : results[s].verdicts) {
+          min_density = std::min(min_density, v.log10_density);
+        }
+        metrics.scenario_min_density.observe(min_density);
       }
       if (heartbeat) {
         progress_writer().emit(done, specs.size(),

@@ -8,6 +8,7 @@
 #include "attacks/attacks.hpp"
 #include "core/detector.hpp"
 #include "core/heatmap.hpp"
+#include "engine/engine.hpp"
 #include "sim/system.hpp"
 
 namespace mhm::pipeline {
@@ -32,10 +33,13 @@ struct ScenarioRun {
   std::string scenario;                 ///< "normal" or the attack name.
   HeatMapTrace maps;                    ///< Every completed interval.
   std::vector<Verdict> verdicts;        ///< One per interval (if detector).
-  std::vector<double> log10_densities;  ///< Convenience copy of scores.
   std::vector<double> traffic_volumes;  ///< Total accesses per interval.
   std::uint64_t trigger_interval = 0;   ///< First attacked interval index.
   SimTime interval = 0;
+
+  /// Scores in interval order, derived from the verdicts (empty when the
+  /// run had no detector).
+  std::vector<double> log10_densities() const;
 
   /// False-positive count among intervals strictly before the trigger,
   /// according to `threshold` (log10).
@@ -84,6 +88,13 @@ struct TrainedPipeline {
   Threshold theta_1;   ///< θ_1
 
   const AnomalyDetector& det() const { return *detector; }
+
+  /// A serving engine sharing the trained snapshot (not a copy): vend
+  /// sessions from it to score streams concurrently, or swap_model() to
+  /// roll the deployment forward.
+  engine::DetectionEngine make_engine() const {
+    return engine::DetectionEngine(detector->snapshot());
+  }
 };
 
 /// Train the full pipeline the way §5.2 does: profile `plan.runs` normal

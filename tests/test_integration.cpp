@@ -55,10 +55,10 @@ TEST_F(IntegrationTest, NormalOperationStaysNormal) {
   ScenarioRun run = pipeline::run_scenario(
       pipeline::fast_test_config(), nullptr, 0, 4 * kSecond,
       pipe_->detector.get(), /*seed=*/2024);
+  const std::vector<double> dens = run.log10_densities();
   std::size_t alarms = 0;
-  for (double d : run.log10_densities) alarms += (d < theta1());
-  EXPECT_LT(static_cast<double>(alarms) /
-                static_cast<double>(run.log10_densities.size()),
+  for (double d : dens) alarms += (d < theta1());
+  EXPECT_LT(static_cast<double>(alarms) / static_cast<double>(dens.size()),
             0.08);
 }
 
@@ -80,9 +80,10 @@ TEST_F(IntegrationTest, Scenario1AppDeletionRestoresNormality) {
   // Post-exit window: trigger(200) + 100 intervals of qsort + margin.
   double tail_alarm_rate = 0.0;
   std::size_t tail_count = 0;
+  const std::vector<double> dens = run.log10_densities();
   for (std::size_t i = 0; i < run.maps.size(); ++i) {
     if (run.maps[i].interval_index >= 320) {
-      tail_alarm_rate += (run.log10_densities[i] < theta1());
+      tail_alarm_rate += (dens[i] < theta1());
       ++tail_count;
     }
   }
@@ -124,12 +125,13 @@ TEST_F(IntegrationTest, Scenario3StealthPhaseEvadesVolumeBaseline) {
   std::size_t volume_alarms_stealth = 0;
   std::size_t gmm_alarms_stealth = 0;
   std::size_t stealth_intervals = 0;
+  const std::vector<double> dens = run.log10_densities();
   for (std::size_t i = 0; i < run.maps.size(); ++i) {
     // Stealth phase: well after the load burst.
     if (run.maps[i].interval_index >= run.trigger_interval + 5) {
       ++stealth_intervals;
       volume_alarms_stealth += volume_det.anomalous(run.traffic_volumes[i]);
-      gmm_alarms_stealth += (run.log10_densities[i] < theta1());
+      gmm_alarms_stealth += (dens[i] < theta1());
     }
   }
   ASSERT_GT(stealth_intervals, 100u);
@@ -211,9 +213,11 @@ TEST_F(IntegrationTest, DetectorScoresAreReproducible) {
   attacks::RootkitAttack a2;
   ScenarioRun r1 = run_attack(&a1, 40);
   ScenarioRun r2 = run_attack(&a2, 40);
-  ASSERT_EQ(r1.log10_densities.size(), r2.log10_densities.size());
-  for (std::size_t i = 0; i < r1.log10_densities.size(); ++i) {
-    EXPECT_DOUBLE_EQ(r1.log10_densities[i], r2.log10_densities[i]);
+  const std::vector<double> d1 = r1.log10_densities();
+  const std::vector<double> d2 = r2.log10_densities();
+  ASSERT_EQ(d1.size(), d2.size());
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d1[i], d2[i]);
   }
 }
 

@@ -241,7 +241,7 @@ TEST(ParallelDeterminism, ScenarioFanOutMatchesSerialRuns) {
   for (std::size_t s = 0; s < specs.size(); ++s) {
     const auto serial = pipeline::run_scenario(
         cfg, nullptr, 0, duration, pipe.detector.get(), specs[s].seed);
-    EXPECT_EQ(batch[s].log10_densities, serial.log10_densities)
+    EXPECT_EQ(batch[s].log10_densities(), serial.log10_densities())
         << "scenario " << s;
   }
 }

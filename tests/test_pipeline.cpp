@@ -74,9 +74,10 @@ TEST_F(TrainedPipelineTest, NormalRunHasLowFalsePositiveRate) {
                                  2 * kSecond, pipeline_->detector.get(),
                                  /*seed=*/4242);
   EXPECT_EQ(run.scenario, "normal");
-  ASSERT_EQ(run.log10_densities.size(), 200u);
+  const std::vector<double> dens = run.log10_densities();
+  ASSERT_EQ(dens.size(), 200u);
   std::size_t alarms = 0;
-  for (double d : run.log10_densities) {
+  for (double d : dens) {
     alarms += (d < pipeline_->theta_1.log10_value);
   }
   // Expected FP rate ~1 %; allow generous slack for distribution shift.
@@ -115,9 +116,10 @@ TEST_F(TrainedPipelineTest, AttackIsDetectedAfterTrigger) {
   EXPECT_GT(run.detections_after_trigger(theta), 20u);
   double before = 0.0;
   double after = 0.0;
+  const std::vector<double> dens = run.log10_densities();
   for (std::size_t i = 0; i < run.maps.size(); ++i) {
     (run.maps[i].interval_index < run.trigger_interval ? before : after) +=
-        run.log10_densities[i];
+        dens[i];
   }
   before /= static_cast<double>(run.intervals_before_trigger());
   after /= static_cast<double>(run.intervals_after_trigger());
@@ -140,7 +142,7 @@ TEST_F(TrainedPipelineTest, RunWithoutDetectorCollectsMapsOnly) {
                                  500 * kMillisecond, nullptr, 1);
   EXPECT_EQ(run.maps.size(), 50u);
   EXPECT_TRUE(run.verdicts.empty());
-  EXPECT_TRUE(run.log10_densities.empty());
+  EXPECT_TRUE(run.log10_densities().empty());
   EXPECT_EQ(run.traffic_volumes.size(), 50u);
 }
 

@@ -10,8 +10,12 @@
 //
 //   mhm_tool monitor --model model.mhm [--attack name] [--trigger-ms T]
 //                    [--duration-ms D] [--seed X] [--csv out.csv]
-//       Replay a (possibly attacked) run against a trained model and report
-//       per-interval verdicts. Exit code 2 if any anomaly was flagged.
+//                    [--save-trace trace.mhmt]
+//       Run a (possibly attacked) live system against a trained model and
+//       report per-interval verdicts. --model also accepts a registry
+//       directory (latest version wins); --save-trace records the run's
+//       heat maps for later `replay`. Exit code 2 if any anomaly was
+//       flagged.
 //
 //   mhm_tool simulate [--duration-ms D] [--seed X] [--granularity B]
 //       Run the simulator alone and print per-interval MHM summaries.
@@ -25,6 +29,17 @@
 //   mhm_tool train --trace trace.mhmt --out model.mhm [--components L']
 //                  [--gmm J]
 //       Train from a previously recorded trace instead of a live run.
+//       Either train form also accepts --registry DIR (instead of, or in
+//       addition to, --out) to store the model in a versioned registry
+//       directory under the next free version id.
+//
+//   mhm_tool replay <trace.mhmt> --model <file-or-registry-dir>
+//                   [--version N] [--csv out.csv]
+//       Re-score a recorded trace offline through a detection-engine
+//       session. --model accepts a single .mhmm file or a registry
+//       directory (latest version unless --version picks one). The CSV
+//       columns match `monitor --csv`, so a live run saved with
+//       --save-trace replays to byte-identical verdicts.
 //
 //   mhm_tool ingest --in addresses.txt --out trace.mhmt [--base A]
 //                   [--size S] [--granularity B] [--interval-ms I]
@@ -77,6 +92,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -90,6 +106,8 @@
 #include "common/csv.hpp"
 #include "core/model_io.hpp"
 #include "core/trace_io.hpp"
+#include "engine/engine.hpp"
+#include "engine/source.hpp"
 #include "hw/address_trace.hpp"
 #include "hw/memometer.hpp"
 #include "obs/export.hpp"
@@ -150,10 +168,25 @@ sim::SystemConfig config_from(const Args& args) {
   return cfg;
 }
 
+/// Persist a freshly trained model to --out and/or --registry.
+void save_trained(const Args& args, const DetectorModel& model) {
+  if (const auto out_path = args.get_optional("out")) {
+    save_model_file(model, *out_path);
+    std::printf("model written to %s\n", out_path->c_str());
+  }
+  if (const auto registry_dir = args.get_optional("registry")) {
+    ModelRegistry registry(*registry_dir);
+    const std::uint64_t version = registry.save(model);
+    std::printf("model registered as version %llu in %s\n",
+                static_cast<unsigned long long>(version),
+                registry.directory().c_str());
+  }
+}
+
 int cmd_train(const Args& args) {
-  std::string out_path;
-  if (!args.require("out", &out_path)) {
-    std::fprintf(stderr, "train: --out <file> is required\n");
+  if (!args.get_optional("out") && !args.get_optional("registry")) {
+    std::fprintf(stderr,
+                 "train: --out <file> or --registry <dir> is required\n");
     return 1;
   }
   AnomalyDetector::Options opts;
@@ -176,12 +209,11 @@ int cmd_train(const Args& args) {
     const HeatMapTrace validation(split, trace.maps.end());
     const AnomalyDetector detector =
         AnomalyDetector::train(training, validation, opts);
-    save_model_file(DetectorModel::from_detector(detector), out_path);
     std::printf("trained offline on %zu + %zu MHMs from %s; "
                 "variance explained %.4f%%\n",
                 training.size(), validation.size(), trace_path->c_str(),
                 100.0 * detector.eigenmemory().variance_explained());
-    std::printf("model written to %s\n", out_path.c_str());
+    save_trained(args, DetectorModel::from_detector(detector));
     return 0;
   }
 
@@ -197,13 +229,12 @@ int cmd_train(const Args& args) {
               cfg.monitor.cell_count());
   pipeline::TrainedPipeline pipe = pipeline::train_pipeline(cfg, plan, opts);
 
-  save_model_file(DetectorModel::from_detector(pipe.det()), out_path);
   std::printf("trained on %zu MHMs; variance explained %.4f%%; "
               "theta_0.5 = %.2f, theta_1 = %.2f\n",
               pipe.training.size(),
               100.0 * pipe.det().eigenmemory().variance_explained(),
               pipe.theta_05.log10_value, pipe.theta_1.log10_value);
-  std::printf("model written to %s\n", out_path.c_str());
+  save_trained(args, DetectorModel::from_detector(pipe.det()));
   return 0;
 }
 
@@ -299,7 +330,10 @@ int cmd_monitor(const Args& args) {
     std::fprintf(stderr, "monitor: --model <file> is required\n");
     return 1;
   }
-  const AnomalyDetector detector = load_model_file(model_path).to_detector();
+  const DetectorModel model = std::filesystem::is_directory(model_path)
+                                  ? ModelRegistry(model_path).load_latest()
+                                  : load_model_file(model_path);
+  const AnomalyDetector detector = model.to_detector();
 
   sim::SystemConfig cfg = config_from(args);
   if (cfg.monitor.cell_count() != detector.eigenmemory().input_dim()) {
@@ -326,7 +360,7 @@ int cmd_monitor(const Args& args) {
                       : "log10 Pr(M) — normal run";
   plot.hlines = {detector.primary_threshold().log10_value};
   if (attack) plot.vlines = {static_cast<double>(run.trigger_interval)};
-  std::fputs(render_line_plot(run.log10_densities, plot).c_str(), stdout);
+  std::fputs(render_line_plot(run.log10_densities(), plot).c_str(), stdout);
 
   std::size_t alarms = 0;
   for (const auto& v : run.verdicts) alarms += v.anomalous;
@@ -355,7 +389,68 @@ int cmd_monitor(const Args& args) {
     }
     std::printf("wrote %s\n", csv_path->c_str());
   }
+  if (const auto trace_path = args.get_optional("save-trace")) {
+    RecordedTrace trace;
+    trace.config = cfg.monitor;
+    trace.maps = run.maps;
+    save_trace_file(trace, *trace_path);
+    std::printf("trace written to %s\n", trace_path->c_str());
+  }
   return alarms > 0 ? 2 : 0;
+}
+
+int cmd_replay(const std::string& trace_path, const Args& args) {
+  std::string model_path;
+  if (!args.require("model", &model_path)) {
+    std::fprintf(stderr,
+                 "replay: --model <file-or-registry-dir> is required\n");
+    return 1;
+  }
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  if (std::filesystem::is_directory(model_path)) {
+    const ModelRegistry registry(model_path);
+    const std::uint64_t version = args.get_u64("version", 0);
+    snapshot = version != 0 ? registry.load_snapshot(version)
+                            : registry.load_latest_snapshot();
+  } else {
+    snapshot = load_model_file(model_path).to_snapshot();
+  }
+
+  engine::TraceReplaySource source =
+      engine::TraceReplaySource::from_file(trace_path);
+  if (!source.maps().empty() &&
+      source.maps().front().cell_count() != snapshot->pca.input_dim()) {
+    std::fprintf(stderr,
+                 "replay: model expects %zu cells but the trace has %zu — "
+                 "it was recorded at a different granularity\n",
+                 snapshot->pca.input_dim(),
+                 source.maps().front().cell_count());
+    return 1;
+  }
+
+  const engine::DetectionEngine engine(snapshot);
+  engine::Session session = engine.new_session();
+  const std::vector<Verdict> verdicts = session.run(source);
+  std::size_t alarms = 0;
+  for (const auto& v : verdicts) alarms += v.anomalous;
+  std::printf("replayed %zu intervals from %s against model version %llu: "
+              "%zu flagged anomalous (threshold theta at p = %.3f)\n",
+              verdicts.size(), trace_path.c_str(),
+              static_cast<unsigned long long>(snapshot->version), alarms,
+              snapshot->primary.p);
+
+  if (const auto csv_path = args.get_optional("csv")) {
+    CsvWriter csv(*csv_path);
+    csv.header({"interval", "log10_density", "anomalous"});
+    for (const auto& v : verdicts) {
+      csv.row()
+          .col(v.interval_index)
+          .col(v.log10_density)
+          .col(static_cast<int>(v.anomalous));
+    }
+    std::printf("wrote %s\n", csv_path->c_str());
+  }
+  return 0;
 }
 
 int cmd_simulate(const Args& args) {
@@ -928,8 +1023,11 @@ int cmd_watch(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: mhm_tool <train|record|ingest|inspect|monitor|simulate"
-               "|metrics|journal|serve|watch|dump> [--flag value]...\n");
+               "usage: mhm_tool <train|record|ingest|inspect|monitor|replay"
+               "|simulate|metrics|journal|serve|watch|dump> "
+               "[--flag value]...\n"
+               "       mhm_tool replay <trace.mhmt> --model "
+               "<file-or-registry-dir>\n");
 }
 
 }  // namespace
@@ -940,8 +1038,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   try {
-    const Args args(argc, argv, 2);
     const std::string cmd = argv[1];
+    if (cmd == "replay") {
+      // The trace is positional: replay <trace.mhmt> --flag value...
+      if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+        std::fprintf(stderr, "replay: usage: mhm_tool replay <trace.mhmt> "
+                             "--model <file-or-registry-dir>\n");
+        return 1;
+      }
+      return cmd_replay(argv[2], Args(argc, argv, 3));
+    }
+    const Args args(argc, argv, 2);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "record") return cmd_record(args);
     if (cmd == "ingest") return cmd_ingest(args);
