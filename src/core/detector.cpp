@@ -57,7 +57,7 @@ AnomalyDetector AnomalyDetector::train(
   gmm.total_log_likelihood(reduced_valid, &ln_scores);
   std::vector<double> validation_scores(ln_scores.size());
   for (std::size_t i = 0; i < ln_scores.size(); ++i) {
-    validation_scores[i] = ln_scores[i] / std::log(10.0);
+    validation_scores[i] = ln_scores[i] / kLn10;
   }
 
   // Per-cell baseline of the raw training maps: alarms are explained in the
@@ -111,11 +111,13 @@ double AnomalyDetector::score(const std::vector<double>& raw) const {
 
 Verdict AnomalyDetector::analyze(const std::vector<double>& raw,
                                  std::uint64_t interval_index) const {
-  // Steady-state allocation-free: the scratch is thread_local so one
-  // detector stays safe to score from several scenario threads at once.
-  thread_local ScoreScratch scratch;
-  const Verdict v = score_snapshot(*snap_, raw, interval_index, scratch);
-  observer_->record(*snap_, v, raw, scratch.reduced);
+  // Steady-state allocation-free: the scratch is per-instance, so two
+  // detectors with different model dimensions never resize each other's
+  // buffers (the old thread_local was shared by every detector on the
+  // thread). Concurrent scoring goes through per-thread copies — see the
+  // class comment.
+  const Verdict v = score_snapshot(*snap_, raw, interval_index, scratch_);
+  observer_->record(*snap_, v, raw, scratch_.reduced);
   return v;
 }
 

@@ -27,10 +27,13 @@ namespace mhm {
 /// the same primitives engine::Session uses: an immutable ModelSnapshot
 /// scored with score_snapshot() and observed through a StreamObserver
 /// (journal, phase metrics, model health). It is kept for API
-/// compatibility — the batch pipeline and the benches drive it directly —
-/// and stays safe to call concurrently from several scenario runs sharing
-/// one detector (thread_local scoring scratch; the observer is shared, as
-/// is its journal).
+/// compatibility — the batch pipeline and the benches drive it directly.
+/// The scoring scratch is per-instance (like engine::Session), so one
+/// detector must not be scored from several threads at once; copies are
+/// cheap (two shared_ptrs plus empty scratch) and share the model, the
+/// journal and the health monitor, so concurrent scenario runs give each
+/// thread its own copy and still aggregate into one observation stream —
+/// run_scenarios does exactly that.
 class AnomalyDetector {
  public:
   struct Options {
@@ -71,8 +74,8 @@ class AnomalyDetector {
   /// Analyze one MHM: project, score, compare against the primary threshold.
   /// Timed — `Verdict::analysis_time` is the wall-clock cost of projection +
   /// density evaluation (the §5.4 measurement). Allocation-free in steady
-  /// state (thread_local scratch buffers) and safe to call concurrently
-  /// from several scenario runs sharing one detector.
+  /// state (per-instance scratch buffers); score concurrently through
+  /// per-thread copies, not one shared instance.
   Verdict analyze(const HeatMap& map) const;
   Verdict analyze(const std::vector<double>& raw,
                   std::uint64_t interval_index = 0) const;
@@ -134,6 +137,9 @@ class AnomalyDetector {
   /// health through) the same stream — the run_scenarios fan-out relies on
   /// one aggregated journal.
   std::shared_ptr<StreamObserver> observer_;
+  /// Per-instance scoring scratch (reaches its final size on the first
+  /// analyze, then allocation-free). Mutable: analyze() is logically const.
+  mutable ScoreScratch scratch_;
 };
 
 /// Baseline detector from Figure 9's discussion: watch only the total

@@ -75,7 +75,10 @@ void Gmm::rebuild_cache() {
     const double log_det = reg.factor.log_det();
     const double log_norm =
         -0.5 * static_cast<double>(dim_) * kLog2Pi - 0.5 * log_det;
-    cache_.push_back(ComponentCache{std::move(reg.factor), log_norm});
+    const double log_joint_const =
+        std::log(std::max(comp.weight, 1e-300)) + log_norm;
+    cache_.push_back(
+        ComponentCache{std::move(reg.factor), log_norm, log_joint_const});
   }
 }
 
@@ -86,8 +89,7 @@ void Gmm::log_joint_terms(std::span<const double> x, Scratch& s) const {
     const auto& comp = components_[j];
     for (std::size_t i = 0; i < dim_; ++i) s.diff[i] = x[i] - comp.mean[i];
     const double maha = cache_[j].chol.mahalanobis_squared(s.diff, s.solve);
-    s.terms[j] = std::log(std::max(comp.weight, 1e-300)) + cache_[j].log_norm -
-                 0.5 * maha;
+    s.terms[j] = cache_[j].log_joint_const - 0.5 * maha;
   }
 }
 
@@ -103,7 +105,7 @@ double Gmm::log_density(const std::vector<double>& x) const {
 }
 
 double Gmm::log10_density(const std::vector<double>& x) const {
-  return log_density(x) / std::log(10.0);
+  return log_density(x) / kLn10;
 }
 
 double Gmm::responsibilities_into(std::span<const double> x, Scratch& scratch,
@@ -116,6 +118,83 @@ double Gmm::responsibilities_into(std::span<const double> x, Scratch& scratch,
     gamma[j] = std::exp(scratch.terms[j] - lse);
   }
   return lse;
+}
+
+void Gmm::responsibilities_batch(std::span<const double> x_soa,
+                                 std::size_t batch, BatchScratch& s,
+                                 std::vector<double>& terms,
+                                 std::vector<double>& gamma,
+                                 std::span<double> ln_density) const {
+  MHM_ASSERT(x_soa.size() == dim_ * batch,
+             "Gmm::responsibilities_batch: SoA block size mismatch");
+  MHM_ASSERT(ln_density.size() == batch,
+             "Gmm::responsibilities_batch: output length mismatch");
+  const std::size_t j_count = components_.size();
+  terms.resize(j_count * batch);
+  gamma.resize(j_count * batch);
+  s.diff.resize(dim_ * batch);
+  s.solve.resize(dim_ * batch);
+  s.maha.resize(batch);
+
+  for (std::size_t j = 0; j < j_count; ++j) {
+    const auto& comp = components_[j];
+    const linalg::Matrix& lmat = cache_[j].chol.lower();
+    // Mean shift, all columns of the block at once.
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const double m = comp.mean[i];
+      const double* x = x_soa.data() + i * batch;
+      double* d = s.diff.data() + i * batch;
+      for (std::size_t b = 0; b < batch; ++b) d[b] = x[b] - m;
+    }
+    // Forward substitution L·y = diff over the whole block: row i of every
+    // column is y_i = (diff_i − Σ_{k<i} L_ik·y_k) / L_ii with the k-ascending
+    // subtraction order and trailing division of forward_solve_into(). Each
+    // column is an independent chain, so vectorizing across b reorders no
+    // single sample's arithmetic.
+    for (std::size_t i = 0; i < dim_; ++i) {
+      double* yi = s.solve.data() + i * batch;
+      const double* di = s.diff.data() + i * batch;
+      for (std::size_t b = 0; b < batch; ++b) yi[b] = di[b];
+      for (std::size_t k = 0; k < i; ++k) {
+        const double lik = lmat(i, k);
+        const double* yk = s.solve.data() + k * batch;
+        for (std::size_t b = 0; b < batch; ++b) yi[b] -= lik * yk[b];
+      }
+      const double lii = lmat(i, i);
+      for (std::size_t b = 0; b < batch; ++b) yi[b] /= lii;
+    }
+    // maha = ‖y‖² accumulated in ascending row order — the dot() order.
+    double* mh = s.maha.data();
+    for (std::size_t b = 0; b < batch; ++b) mh[b] = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const double* yi = s.solve.data() + i * batch;
+      for (std::size_t b = 0; b < batch; ++b) mh[b] += yi[b] * yi[b];
+    }
+    const double cj = cache_[j].log_joint_const;
+    double* tj = terms.data() + j * batch;
+    for (std::size_t b = 0; b < batch; ++b) tj[b] = cj - 0.5 * mh[b];
+  }
+
+  // Per-sample log-sum-exp and responsibilities: the same component-order
+  // peak/sum fold (and non-finite-peak early out) as log_sum_exp().
+  for (std::size_t b = 0; b < batch; ++b) {
+    double peak = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < j_count; ++j) {
+      peak = std::max(peak, terms[j * batch + b]);
+    }
+    double lse = peak;
+    if (std::isfinite(peak)) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < j_count; ++j) {
+        sum += std::exp(terms[j * batch + b] - peak);
+      }
+      lse = peak + std::log(sum);
+    }
+    ln_density[b] = lse;
+    for (std::size_t j = 0; j < j_count; ++j) {
+      gamma[j * batch + b] = std::exp(terms[j * batch + b] - lse);
+    }
+  }
 }
 
 std::vector<double> Gmm::responsibilities(const std::vector<double>& x) const {

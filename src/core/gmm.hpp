@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <optional>
 #include <span>
@@ -10,6 +11,12 @@
 #include "linalg/matrix.hpp"
 
 namespace mhm {
+
+/// ln(10), the divisor converting natural-log densities to the paper's
+/// log10 scale. Hoisted into one constant (computed the same way every call
+/// site used to: std::log(10.0)) so the serial and batch scoring paths — and
+/// training-time calibration — divide by bit-identical values.
+inline const double kLn10 = std::log(10.0);
 
 /// One multivariate Gaussian component of the mixture: mean μ_j, covariance
 /// Σ_j and mixing weight λ_j (prior probability of the component).
@@ -86,6 +93,32 @@ class Gmm {
   double responsibilities_into(std::span<const double> x, Scratch& scratch,
                                std::vector<double>& gamma) const;
 
+  /// Column-block workspace for the batch scoring path. Every block stores
+  /// the batch dimension contiguously (element [row * batch + b] belongs to
+  /// sample b), so the per-row loops vectorize across samples. Buffers reach
+  /// a high-water mark on first use, then never reallocate.
+  struct BatchScratch {
+    std::vector<double> diff;   ///< d × B: x − μ_j for the current component.
+    std::vector<double> solve;  ///< d × B: triangular-solve output rows.
+    std::vector<double> maha;   ///< B: squared Mahalanobis distances.
+  };
+
+  /// Batched responsibilities over `batch` reduced samples laid out as
+  /// batch-contiguous columns (`x_soa[i * batch + b]` is coordinate i of
+  /// sample b). Fills `terms` (J × B log joint densities), `gamma` (J × B
+  /// responsibilities) and `ln_density` (length-B natural-log densities).
+  ///
+  /// Determinism contract: per sample this performs the exact operation
+  /// sequence of responsibilities_into() — same mean-shift order, same
+  /// forward-substitution row order, same log-sum-exp fold — only with the
+  /// batch as the inner loop over *independent* accumulation chains, so the
+  /// results are bit-identical to the serial path at every batch size.
+  void responsibilities_batch(std::span<const double> x_soa, std::size_t batch,
+                              BatchScratch& scratch,
+                              std::vector<double>& terms,
+                              std::vector<double>& gamma,
+                              std::span<double> ln_density) const;
+
   /// Index of the most responsible component.
   std::size_t classify(const std::vector<double>& x) const;
 
@@ -126,10 +159,15 @@ class Gmm {
   static Gmm from_components(std::vector<GmmComponent> components);
 
  private:
-  /// Per-component cached Cholesky factor and log normalizer.
+  /// Per-component cached Cholesky factor and log normalizers, precomputed
+  /// at assemble time so scoring never re-derives them.
   struct ComponentCache {
     linalg::Cholesky chol;
     double log_norm = 0.0;  ///< -d/2·ln(2π) - 1/2·ln|Σ|.
+    /// log(max(λ_j, 1e-300)) + log_norm, the maha-independent part of the
+    /// log joint term. Folding it here is bit-identical to the old per-call
+    /// sum because the serial expression was left-associated the same way.
+    double log_joint_const = 0.0;
   };
 
   void rebuild_cache();

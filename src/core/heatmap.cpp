@@ -45,11 +45,16 @@ std::size_t HeatMap::active_cells() const {
 }
 
 std::vector<double> HeatMap::as_vector() const {
-  std::vector<double> v(counts_.size());
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    v[i] = static_cast<double>(counts_[i]);
-  }
+  std::vector<double> v;
+  as_vector_into(v);
   return v;
+}
+
+void HeatMap::as_vector_into(std::vector<double>& out) const {
+  out.resize(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]);
+  }
 }
 
 std::string summarize(const HeatMap& map) {

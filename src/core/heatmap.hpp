@@ -61,6 +61,11 @@ class HeatMap {
   /// Cell counts as doubles (input to the learning pipeline).
   std::vector<double> as_vector() const;
 
+  /// Same conversion into a caller-owned buffer — the shard scoring path
+  /// reuses one row buffer per slot so steady-state pumping allocates
+  /// nothing.
+  void as_vector_into(std::vector<double>& out) const;
+
   /// Interval index stamped by the monitoring hardware (which interval of
   /// the run this map covers), and its start time.
   std::uint64_t interval_index = 0;

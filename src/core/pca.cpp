@@ -209,6 +209,389 @@ void Eigenmemory::project_into(std::span<const double> map,
   }
 }
 
+namespace {
+
+/// Batch tile width of project_batch (mirrors Eigenmemory::kBatchTile; a
+/// local name keeps the kernels below self-contained).
+constexpr std::size_t kProjTile = Eigenmemory::kBatchTile;
+
+/// Full-width tile pass, generic ISA: two basis rows swept together over a
+/// *contiguous* Φ tile (tile[i * 16 + t] = cell i of lane t — 128-byte rows
+/// read front-to-back, so the tile streams through the prefetcher once per
+/// row pair). Each lane is an independent i-ascending accumulator chain —
+/// the linalg::dot order; pairing two rows halves the tile re-reads and
+/// doubles the number of independent chains in flight, which is what turns
+/// the latency-bound serial matvec into a throughput-bound block product.
+void tile_pass2_generic(const double* brow0, const double* brow1,
+                        std::size_t l, const double* tile, double* w0,
+                        double* w1) {
+  double a0[kProjTile] = {0.0};
+  double a1[kProjTile] = {0.0};
+  for (std::size_t i = 0; i < l; ++i) {
+    const double c0 = brow0[i];
+    const double c1 = brow1[i];
+    const double* ph = tile + i * kProjTile;
+    for (std::size_t t = 0; t < kProjTile; ++t) a0[t] += c0 * ph[t];
+    for (std::size_t t = 0; t < kProjTile; ++t) a1[t] += c1 * ph[t];
+  }
+  for (std::size_t t = 0; t < kProjTile; ++t) w0[t] = a0[t];
+  for (std::size_t t = 0; t < kProjTile; ++t) w1[t] = a1[t];
+}
+
+void tile_pass1_generic(const double* brow0, std::size_t l,
+                        const double* tile, double* w0) {
+  double a0[kProjTile] = {0.0};
+  for (std::size_t i = 0; i < l; ++i) {
+    const double c0 = brow0[i];
+    const double* ph = tile + i * kProjTile;
+    for (std::size_t t = 0; t < kProjTile; ++t) a0[t] += c0 * ph[t];
+  }
+  for (std::size_t t = 0; t < kProjTile; ++t) w0[t] = a0[t];
+}
+
+// AVX2 / AVX-512 tile kernels, dispatched at runtime so the portable
+// baseline binary still runs everywhere. GCC's autovectorizer keeps the 16
+// lane accumulators in memory for the generic loops above (and its
+// outer-loop vectorization strategy is a shuffle storm), so the hot passes
+// are written with explicit vector-extension accumulators: one broadcast
+// per basis row per cell, 4 ymm (or 2 zmm) registers of lane accumulators
+// per row. Element-wise vector ops preserve each lane's serial chain
+// exactly, and the build compiles with -ffp-contract=off, so no mul+add is
+// ever fused — results are bit-identical to the generic pass and to serial
+// project_into() on every ISA.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MHM_PCA_AVX2_TILE 1
+
+// The vector helpers below are internal and always inlined into the
+// target-attributed kernels, so the vector-ABI warning about plain
+// functions taking vector arguments does not apply.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+typedef double V4df __attribute__((vector_size(32)));
+// Unaligned view type: tile rows are only guaranteed 8-byte aligned.
+typedef double V4dfU __attribute__((vector_size(32), aligned(8)));
+
+// always_inline: these must fold into their (target-attributed) callers —
+// a standalone out-of-line copy would also re-trip -Wpsabi past the
+// diagnostic region below.
+__attribute__((always_inline)) inline V4df v4load(const double* p) {
+  return *reinterpret_cast<const V4dfU*>(p);
+}
+__attribute__((always_inline)) inline void v4store(double* p, V4df v) {
+  *reinterpret_cast<V4dfU*>(p) = v;
+}
+
+typedef double V8df __attribute__((vector_size(64)));
+typedef double V8dfU __attribute__((vector_size(64), aligned(8)));
+
+__attribute__((always_inline)) inline V8df v8load(const double* p) {
+  return *reinterpret_cast<const V8dfU*>(p);
+}
+__attribute__((always_inline)) inline void v8store(double* p, V8df v) {
+  *reinterpret_cast<V8dfU*>(p) = v;
+}
+
+__attribute__((target("avx2"))) void tile_pass2_avx2(
+    const double* brow0, const double* brow1, std::size_t l,
+    const double* tile, double* w0, double* w1) {
+  V4df a00{}, a01{}, a02{}, a03{};
+  V4df a10{}, a11{}, a12{}, a13{};
+  for (std::size_t i = 0; i < l; ++i) {
+    const double* ph = tile + i * kProjTile;
+    const V4df p0 = v4load(ph);
+    const V4df p1 = v4load(ph + 4);
+    const V4df p2 = v4load(ph + 8);
+    const V4df p3 = v4load(ph + 12);
+    const V4df c0 = {brow0[i], brow0[i], brow0[i], brow0[i]};
+    const V4df c1 = {brow1[i], brow1[i], brow1[i], brow1[i]};
+    a00 += c0 * p0;
+    a01 += c0 * p1;
+    a02 += c0 * p2;
+    a03 += c0 * p3;
+    a10 += c1 * p0;
+    a11 += c1 * p1;
+    a12 += c1 * p2;
+    a13 += c1 * p3;
+  }
+  v4store(w0, a00);
+  v4store(w0 + 4, a01);
+  v4store(w0 + 8, a02);
+  v4store(w0 + 12, a03);
+  v4store(w1, a10);
+  v4store(w1 + 4, a11);
+  v4store(w1 + 8, a12);
+  v4store(w1 + 12, a13);
+}
+
+__attribute__((target("avx2"))) void tile_pass1_avx2(const double* brow0,
+                                                     std::size_t l,
+                                                     const double* tile,
+                                                     double* w0) {
+  V4df a00{}, a01{}, a02{}, a03{};
+  for (std::size_t i = 0; i < l; ++i) {
+    const double* ph = tile + i * kProjTile;
+    const V4df c0 = {brow0[i], brow0[i], brow0[i], brow0[i]};
+    a00 += c0 * v4load(ph);
+    a01 += c0 * v4load(ph + 4);
+    a02 += c0 * v4load(ph + 8);
+    a03 += c0 * v4load(ph + 12);
+  }
+  v4store(w0, a00);
+  v4store(w0 + 4, a01);
+  v4store(w0 + 8, a02);
+  v4store(w0 + 12, a03);
+}
+
+// AVX-512 variant: a 16-lane tile row is exactly two zmm registers, and 32
+// architectural zmm registers fit up to 8 basis rows of accumulators in one
+// pass — the 47 KB tile is streamed once per 8 rows instead of once per
+// row pair, which matters because the pass is cache-bandwidth-shaped, not
+// FLOP-shaped. R is a compile-time constant so the accumulator arrays fully
+// unroll into registers. Same element-wise lane structure, same bit-exact
+// chains.
+template <int R>
+__attribute__((target("avx512f"))) void tile_passR_avx512(
+    const double* const* brows, std::size_t l, const double* tile,
+    double* const* ws) {
+  const double* b[R];
+  for (int r = 0; r < R; ++r) b[r] = brows[r];
+  V8df a0[R] = {};
+  V8df a1[R] = {};
+  for (std::size_t i = 0; i < l; ++i) {
+    const double* ph = tile + i * kProjTile;
+    const V8df p0 = v8load(ph);
+    const V8df p1 = v8load(ph + 8);
+    for (int r = 0; r < R; ++r) {
+      const double br = b[r][i];
+      const V8df c = {br, br, br, br, br, br, br, br};
+      a0[r] += c * p0;
+      a1[r] += c * p1;
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    v8store(ws[r], a0[r]);
+    v8store(ws[r] + 8, a1[r]);
+  }
+}
+
+// Tile fill, AVX2: mean-shift 4 lanes × 4 cells at a time through a 4×4
+// register transpose (maps are row-contiguous, the tile is lane-
+// interleaved). The mean shift is element-wise (no chain to preserve), and
+// each lane's ‖Φ‖² accumulator takes its c·c adds in strictly ascending
+// cell order — the exact serial sequence.
+/// One 4-lane × 4-cell transpose block: mean-shift, scatter into the tile,
+/// and fold the four cells into the group's ‖Φ‖² accumulator in ascending
+/// cell order. always_inline so the caller keeps all four group chains in
+/// registers at once.
+__attribute__((target("avx2"), always_inline)) inline void fill_block4(
+    const double* const* rp, V4df m, std::size_t i, double* out, V4df& sqv) {
+  const V4df r0 = v4load(rp[0] + i) - m;
+  const V4df r1 = v4load(rp[1] + i) - m;
+  const V4df r2 = v4load(rp[2] + i) - m;
+  const V4df r3 = v4load(rp[3] + i) - m;
+  const V4df t0 = __builtin_shufflevector(r0, r1, 0, 4, 2, 6);
+  const V4df t1 = __builtin_shufflevector(r0, r1, 1, 5, 3, 7);
+  const V4df t2 = __builtin_shufflevector(r2, r3, 0, 4, 2, 6);
+  const V4df t3 = __builtin_shufflevector(r2, r3, 1, 5, 3, 7);
+  const V4df c0 = __builtin_shufflevector(t0, t2, 0, 1, 4, 5);
+  const V4df c1 = __builtin_shufflevector(t1, t3, 0, 1, 4, 5);
+  const V4df c2 = __builtin_shufflevector(t0, t2, 2, 3, 6, 7);
+  const V4df c3 = __builtin_shufflevector(t1, t3, 2, 3, 6, 7);
+  v4store(out, c0);
+  v4store(out + kProjTile, c1);
+  v4store(out + 2 * kProjTile, c2);
+  v4store(out + 3 * kProjTile, c3);
+  sqv += c0 * c0;
+  sqv += c1 * c1;
+  sqv += c2 * c2;
+  sqv += c3 * c3;
+}
+
+__attribute__((target("avx2"))) void fill_tile_avx2(
+    const double* const* rowp, const double* mean, std::size_t l,
+    double* tile, double* sq) {
+  const std::size_t l4 = l & ~std::size_t{3};
+  // All four lane groups advance through one i-loop so their ‖Φ‖² chains
+  // (one serial add per cell per group — the order contract) interleave
+  // and hide each other's add latency.
+  V4df sq0{}, sq1{}, sq2{}, sq3{};
+  for (std::size_t i = 0; i < l4; i += 4) {
+    const V4df m = v4load(mean + i);
+    double* out = tile + i * kProjTile;
+    fill_block4(rowp, m, i, out, sq0);
+    fill_block4(rowp + 4, m, i, out + 4, sq1);
+    fill_block4(rowp + 8, m, i, out + 8, sq2);
+    fill_block4(rowp + 12, m, i, out + 12, sq3);
+  }
+  v4store(sq, sq0);
+  v4store(sq + 4, sq1);
+  v4store(sq + 8, sq2);
+  v4store(sq + 12, sq3);
+  for (std::size_t i = l4; i < l; ++i) {
+    const double m = mean[i];
+    for (std::size_t t = 0; t < kProjTile; ++t) {
+      const double v = rowp[t][i] - m;
+      tile[i * kProjTile + t] = v;
+      sq[t] += v * v;
+    }
+  }
+}
+
+enum class TileIsa { generic, avx2, avx512 };
+
+TileIsa tile_isa() {
+  static const TileIsa isa =
+      __builtin_cpu_supports("avx512f") != 0
+          ? TileIsa::avx512
+          : (__builtin_cpu_supports("avx2") != 0 ? TileIsa::avx2
+                                                 : TileIsa::generic);
+  return isa;
+}
+
+#pragma GCC diagnostic pop
+#endif  // x86-64 GCC/clang
+
+/// Sweep all L' basis rows over one full 16-lane tile, writing the weights
+/// into the k-major column block at lanes [b0, b0 + 16).
+void project_full_tile(const Matrix& basis, std::size_t k_count,
+                       const double* tile, double* weights_soa,
+                       std::size_t batch, std::size_t b0) {
+  const std::size_t l = basis.cols();
+  double wtmp0[kProjTile];
+  double wtmp1[kProjTile];
+  std::size_t k = 0;
+#ifdef MHM_PCA_AVX2_TILE
+  if (tile_isa() == TileIsa::avx512) {
+    // Up to 8 basis rows per tile read; the dispatch switch keeps the row
+    // count a compile-time constant so the accumulators live in registers.
+    double wbuf[8][kProjTile];
+    while (k < k_count) {
+      const std::size_t rows = std::min<std::size_t>(k_count - k, 8);
+      const double* brows[8];
+      double* ws[8];
+      for (std::size_t r = 0; r < rows; ++r) {
+        brows[r] = basis.row(k + r).data();
+        ws[r] = wbuf[r];
+      }
+      switch (rows) {
+        case 8: tile_passR_avx512<8>(brows, l, tile, ws); break;
+        case 7: tile_passR_avx512<7>(brows, l, tile, ws); break;
+        case 6: tile_passR_avx512<6>(brows, l, tile, ws); break;
+        case 5: tile_passR_avx512<5>(brows, l, tile, ws); break;
+        case 4: tile_passR_avx512<4>(brows, l, tile, ws); break;
+        case 3: tile_passR_avx512<3>(brows, l, tile, ws); break;
+        case 2: tile_passR_avx512<2>(brows, l, tile, ws); break;
+        default: tile_passR_avx512<1>(brows, l, tile, ws); break;
+      }
+      for (std::size_t r = 0; r < rows; ++r) {
+        double* w = weights_soa + (k + r) * batch + b0;
+        for (std::size_t t = 0; t < kProjTile; ++t) w[t] = wbuf[r][t];
+      }
+      k += rows;
+    }
+    return;
+  }
+#endif
+  for (; k + 1 < k_count; k += 2) {
+#ifdef MHM_PCA_AVX2_TILE
+    if (tile_isa() == TileIsa::avx2) {
+      tile_pass2_avx2(basis.row(k).data(), basis.row(k + 1).data(), l, tile,
+                      wtmp0, wtmp1);
+    } else
+#endif
+    {
+      tile_pass2_generic(basis.row(k).data(), basis.row(k + 1).data(), l,
+                         tile, wtmp0, wtmp1);
+    }
+    double* w0 = weights_soa + k * batch + b0;
+    double* w1 = weights_soa + (k + 1) * batch + b0;
+    for (std::size_t t = 0; t < kProjTile; ++t) w0[t] = wtmp0[t];
+    for (std::size_t t = 0; t < kProjTile; ++t) w1[t] = wtmp1[t];
+  }
+  for (; k < k_count; ++k) {
+#ifdef MHM_PCA_AVX2_TILE
+    if (tile_isa() == TileIsa::avx2) {
+      tile_pass1_avx2(basis.row(k).data(), l, tile, wtmp0);
+    } else
+#endif
+    {
+      tile_pass1_generic(basis.row(k).data(), l, tile, wtmp0);
+    }
+    double* w0 = weights_soa + k * batch + b0;
+    for (std::size_t t = 0; t < kProjTile; ++t) w0[t] = wtmp0[t];
+  }
+}
+
+}  // namespace
+
+void Eigenmemory::project_batch(std::span<const std::span<const double>> maps,
+                                std::vector<double>& phi_tiles,
+                                std::vector<double>& weights_soa,
+                                std::vector<double>* phi_sq) const {
+  const std::size_t batch = maps.size();
+  const std::size_t l = mean_.size();
+  const std::size_t k_count = components();
+  const std::size_t tiles = (batch + kProjTile - 1) / kProjTile;
+  phi_tiles.resize(tiles * l * kProjTile);
+  weights_soa.resize(k_count * batch);
+  if (phi_sq != nullptr) phi_sq->resize(batch);
+
+  for (std::size_t b0 = 0; b0 < batch; b0 += kProjTile) {
+    const std::size_t width = std::min(kProjTile, batch - b0);
+    double* tile = phi_tiles.data() + (b0 / kProjTile) * l * kProjTile;
+    // Mean-shift fill, cell-major: row i of the tile is `width` consecutive
+    // doubles, so every write is a short contiguous run at any batch size
+    // (a lane-major Φ block at large B would stride the cache by batch·8
+    // bytes and thrash one L1 set). Each lane's Φ values and its ‖Φ‖² chain
+    // accumulate in ascending cell order — the project_into() /
+    // score_snapshot() sequence.
+    const double* rowp[kProjTile];
+    for (std::size_t t = 0; t < width; ++t) {
+      MHM_ASSERT(maps[b0 + t].size() == l,
+                 "Eigenmemory::project_batch: bad length");
+      rowp[t] = maps[b0 + t].data();
+    }
+    double sq[kProjTile] = {0.0};
+#ifdef MHM_PCA_AVX2_TILE
+    if (width == kProjTile && tile_isa() != TileIsa::generic) {
+      fill_tile_avx2(rowp, mean_.data(), l, tile, sq);
+    } else
+#endif
+    {
+      for (std::size_t i = 0; i < l; ++i) {
+        const double m = mean_[i];
+        double* trow = tile + i * kProjTile;
+        for (std::size_t t = 0; t < width; ++t) {
+          const double v = rowp[t][i] - m;
+          trow[t] = v;
+          sq[t] += v * v;
+        }
+      }
+    }
+    if (phi_sq != nullptr) {
+      for (std::size_t t = 0; t < width; ++t) (*phi_sq)[b0 + t] = sq[t];
+    }
+    if (width == kProjTile) {
+      project_full_tile(basis_, k_count, tile, weights_soa.data(), batch, b0);
+    } else {
+      // Ragged tail: per-lane scalar dots over the tile column, ascending i
+      // — exactly the serial project_into() sequence. Sub-tile batches have
+      // no cross-lane parallelism to exploit, so they run at serial speed.
+      for (std::size_t t = 0; t < width; ++t) {
+        for (std::size_t k = 0; k < k_count; ++k) {
+          const double* brow = basis_.row(k).data();
+          double acc = 0.0;
+          for (std::size_t i = 0; i < l; ++i) {
+            acc += brow[i] * tile[i * kProjTile + t];
+          }
+          weights_soa[k * batch + b0 + t] = acc;
+        }
+      }
+    }
+  }
+}
+
 std::vector<double> Eigenmemory::project(const std::vector<double>& map) const {
   std::vector<double> phi;
   std::vector<double> w;

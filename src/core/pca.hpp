@@ -58,6 +58,34 @@ class Eigenmemory {
                     std::vector<double>& phi_scratch,
                     std::vector<double>& weights) const;
 
+  /// Batch tile width of project_batch: lanes per register tile. Fixed so
+  /// the Φ block layout below is a compile-time contract.
+  static constexpr std::size_t kBatchTile = 16;
+
+  /// Batched, cache-blocked projection of B maps at once — the GEMM-shaped
+  /// core of score_snapshot_batch(). `phi_tiles` receives the mean-shifted
+  /// maps as tile-blocked columns: element
+  /// `[(b / kBatchTile) * L * kBatchTile + i * kBatchTile + b % kBatchTile]`
+  /// is cell i of map b, so each 16-lane tile is one contiguous L × 16 slab
+  /// the inner kernel streams front-to-back. `weights_soa` gets the
+  /// projections as an L' × B column block (element [k * B + b] belongs to
+  /// map b); `phi_sq`, when non-null, receives each map's ‖Φ‖² (the SPE
+  /// identity needs it, and folding it into the mean-shift pass saves a
+  /// re-read of Φ).
+  ///
+  /// Determinism contract: every per-map accumulation (mean shift in cell
+  /// order, each weight as an i-ascending single-accumulator dot — the
+  /// linalg::dot order, ‖Φ‖² in cell order) is the exact serial sequence of
+  /// project_into(); only *independent* chains run side by side in a
+  /// register tile (including the runtime-dispatched AVX2 tile kernel,
+  /// whose vector lanes are element-wise and never fused — the build pins
+  /// -ffp-contract=off), so the weights are bit-identical to the serial
+  /// path on every ISA.
+  void project_batch(std::span<const std::span<const double>> maps,
+                     std::vector<double>& phi_tiles,
+                     std::vector<double>& weights_soa,
+                     std::vector<double>* phi_sq = nullptr) const;
+
   /// Project a batch.
   std::vector<std::vector<double>> project_all(
       const std::vector<std::vector<double>>& maps) const;

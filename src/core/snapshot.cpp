@@ -50,7 +50,7 @@ Verdict score_snapshot(const ModelSnapshot& snapshot,
   snapshot.pca.project_into(raw, scratch.phi, scratch.reduced);
   const double ln_density = snapshot.gmm.responsibilities_into(
       scratch.reduced, scratch.gmm, scratch.gamma);
-  const double log10_density = ln_density / std::log(10.0);
+  const double log10_density = ln_density / kLn10;
   const std::size_t pattern = static_cast<std::size_t>(
       std::max_element(scratch.gamma.begin(), scratch.gamma.end()) -
       scratch.gamma.begin());
@@ -73,6 +73,96 @@ Verdict score_snapshot(const ModelSnapshot& snapshot,
   for (double c : scratch.reduced) w_sq += c * c;
   v.spe = std::max(0.0, phi_sq - w_sq);
   return v;
+}
+
+void ScoreBatch::clear(std::size_t input_dim) {
+  input_dim_ = input_dim;
+  raws_.clear();
+  intervals_.clear();
+  model_version = 0;
+  batch_time = std::chrono::nanoseconds{0};
+}
+
+void ScoreBatch::push(std::span<const double> raw,
+                      std::uint64_t interval_index) {
+  MHM_ASSERT(raw.size() == input_dim_, "ScoreBatch::push: bad map length");
+  raws_.push_back(raw);
+  intervals_.push_back(interval_index);
+}
+
+Verdict ScoreBatch::verdict(std::size_t b) const {
+  MHM_ASSERT(b < size() && log10_density.size() == size(),
+             "ScoreBatch::verdict: unscored or out-of-range sample");
+  Verdict v;
+  v.interval_index = intervals_[b];
+  v.log10_density = log10_density[b];
+  v.anomalous = anomalous[b] != 0;
+  v.nearest_pattern = nearest[b];
+  v.spe = spe[b];
+  v.model_version = model_version;
+  v.analysis_time = batch_time / static_cast<std::int64_t>(size());
+  return v;
+}
+
+void ScoreBatch::extract_reduced(std::size_t b, std::vector<double>& out) const {
+  const std::size_t n = size();
+  const std::size_t k_count = n == 0 ? 0 : reduced.size() / n;
+  out.resize(k_count);
+  for (std::size_t k = 0; k < k_count; ++k) out[k] = reduced[k * n + b];
+}
+
+void score_snapshot_batch(const ModelSnapshot& snapshot, ScoreBatch& batch,
+                          BatchScoreScratch& scratch) {
+  const std::size_t n = batch.size();
+  batch.model_version = snapshot.version;
+  if (n == 0) {
+    batch.batch_time = std::chrono::nanoseconds{0};
+    return;
+  }
+  // Timed region mirrors score_snapshot(): projection + mixture density +
+  // verdict columns; the SPE identity stays outside the clock.
+  const auto t0 = std::chrono::steady_clock::now();
+  snapshot.pca.project_batch(batch.raws(), batch.phi, batch.reduced,
+                             &scratch.phi_sq);
+  batch.ln_density.resize(n);
+  snapshot.gmm.responsibilities_batch(batch.reduced, n, scratch.gmm,
+                                      batch.terms, batch.gamma,
+                                      batch.ln_density);
+  batch.log10_density.resize(n);
+  batch.anomalous.resize(n);
+  batch.nearest.resize(n);
+  const std::size_t j_count = snapshot.gmm.component_count();
+  for (std::size_t b = 0; b < n; ++b) {
+    const double log10_density = batch.ln_density[b] / kLn10;
+    batch.log10_density[b] = log10_density;
+    batch.anomalous[b] =
+        log10_density < snapshot.primary.log10_value ? 1 : 0;
+    // First strictly-greatest responsibility — std::max_element's tie rule.
+    // The argmax must run over gamma (not terms): exp can round two distinct
+    // terms to equal responsibilities, and the serial path breaks that tie
+    // on gamma order.
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < j_count; ++j) {
+      if (batch.gamma[best * n + b] < batch.gamma[j * n + b]) best = j;
+    }
+    batch.nearest[b] = best;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  batch.batch_time =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
+
+  // SPE columns: ‖Φ‖² was folded into the projection pass; ‖w‖² accumulates
+  // here in ascending-k order — the serial loop over scratch.reduced.
+  const std::size_t k_count = snapshot.pca.components();
+  scratch.w_sq.assign(n, 0.0);
+  batch.spe.resize(n);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    const double* w = batch.reduced.data() + k * n;
+    for (std::size_t b = 0; b < n; ++b) scratch.w_sq[b] += w[b] * w[b];
+  }
+  for (std::size_t b = 0; b < n; ++b) {
+    batch.spe[b] = std::max(0.0, scratch.phi_sq[b] - scratch.w_sq[b]);
+  }
 }
 
 }  // namespace mhm

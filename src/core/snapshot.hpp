@@ -106,4 +106,77 @@ Verdict score_snapshot(const ModelSnapshot& snapshot,
                        std::span<const double> raw,
                        std::uint64_t interval_index, ScoreScratch& scratch);
 
+/// Structure-of-arrays batch for shard-at-a-time scoring: raw-map views in,
+/// verdict columns out. Inputs are spans — push() stores a view, so the
+/// backing storage must outlive the score + scatter. Intermediates and
+/// outputs are batch-contiguous column blocks (element [row * size() + b]
+/// belongs to sample b). Every buffer grows to a high-water mark and is
+/// reused across clear()/push() cycles: once a batch size has been seen,
+/// refilling and rescoring at that size (or smaller) allocates nothing.
+class ScoreBatch {
+ public:
+  /// Drop all samples and stamp the expected cell count L; capacity is kept.
+  void clear(std::size_t input_dim);
+
+  /// Append one raw-map view (length L) with its interval index.
+  void push(std::span<const double> raw, std::uint64_t interval_index);
+
+  std::size_t size() const { return raws_.size(); }
+  bool empty() const { return raws_.empty(); }
+  std::size_t input_dim() const { return input_dim_; }
+
+  std::span<const std::span<const double>> raws() const { return raws_; }
+  std::span<const double> raw(std::size_t b) const { return raws_[b]; }
+  std::uint64_t interval_index(std::size_t b) const { return intervals_[b]; }
+
+  /// Assemble sample b's Verdict from the output columns (valid after
+  /// score_snapshot_batch). `analysis_time` is the batch's amortized share
+  /// (batch_time / size()) — the timing is per-batch by construction and is
+  /// explicitly *not* part of the bit-identity contract.
+  Verdict verdict(std::size_t b) const;
+
+  /// Gather sample b's reduced weights (a strided column read) into `out`.
+  void extract_reduced(std::size_t b, std::vector<double>& out) const;
+
+  // Output columns, filled by score_snapshot_batch().
+  /// Mean-shifted maps Φ as Eigenmemory::kBatchTile-blocked column tiles
+  /// (see project_batch); the projection kernel streams each L × 16 tile
+  /// directly from this buffer.
+  std::vector<double> phi;
+  std::vector<double> reduced;         ///< L' × B projected weights.
+  std::vector<double> terms;           ///< J × B per-component log joints.
+  std::vector<double> gamma;           ///< J × B responsibilities.
+  std::vector<double> ln_density;      ///< B natural-log densities.
+  std::vector<double> log10_density;   ///< B log10 densities.
+  std::vector<double> spe;             ///< B PCA residuals.
+  std::vector<std::size_t> nearest;    ///< B most responsible components.
+  std::vector<std::uint8_t> anomalous; ///< B primary-threshold verdicts.
+  std::uint64_t model_version = 0;     ///< Snapshot version that scored us.
+  std::chrono::nanoseconds batch_time{0};  ///< Projection + density, whole batch.
+
+ private:
+  std::size_t input_dim_ = 0;
+  std::vector<std::span<const double>> raws_;
+  std::vector<std::uint64_t> intervals_;
+};
+
+/// Reusable workspace for score_snapshot_batch — one per scoring thread,
+/// never shared across concurrent batch scorers.
+struct BatchScoreScratch {
+  Gmm::BatchScratch gmm;
+  std::vector<double> phi_sq;  ///< B running ‖Φ‖² (fed by the projection).
+  std::vector<double> w_sq;    ///< B running ‖w‖².
+};
+
+/// Score a whole ScoreBatch against one snapshot in a single GEMM-shaped
+/// pass: cache-blocked batch projection, vectorized per-component mixture
+/// densities, columnwise SPE via the ‖Φ‖² − ‖w‖² identity. Bit-identical to
+/// calling score_snapshot() per sample — every per-sample accumulation keeps
+/// its serial operation order; only independent samples run side by side
+/// (see the determinism notes on project_batch / responsibilities_batch).
+/// Allocation-free once the batch size has been seen. Pure, like
+/// score_snapshot: no metrics, no journal.
+void score_snapshot_batch(const ModelSnapshot& snapshot, ScoreBatch& batch,
+                          BatchScoreScratch& scratch);
+
 }  // namespace mhm

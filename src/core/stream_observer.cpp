@@ -82,8 +82,8 @@ void StreamObserver::rebind(const ModelSnapshot& snapshot) {
 
 void StreamObserver::record(const ModelSnapshot& snapshot,
                             const Verdict& verdict,
-                            const std::vector<double>& raw,
-                            const std::vector<double>& reduced) {
+                            std::span<const double> raw,
+                            std::span<const double> reduced) {
   if (!obs::enabled()) return;
   obs::mark_analysis();
   DetectorMetrics& m = detector_metrics();
@@ -117,7 +117,7 @@ void StreamObserver::record(const ModelSnapshot& snapshot,
   thread_local obs::DecisionRecord rec;
   rec.interval_index = verdict.interval_index;
   rec.phase = verdict.interval_index % phases_;
-  rec.reduced_coords = reduced;
+  rec.reduced_coords.assign(reduced.begin(), reduced.end());
   rec.log10_density = verdict.log10_density;
   rec.threshold = snapshot.primary.log10_value;
   rec.alarm = verdict.anomalous;

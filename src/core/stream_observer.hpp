@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/snapshot.hpp"
@@ -46,12 +47,13 @@ class StreamObserver {
 
   /// Record one scored interval: process + per-phase metrics, model-health
   /// observation, journal append, flight-recorder note. `raw` and `reduced`
-  /// are the map and its projection from the scoring call — nothing is
-  /// re-scored. No-op while observability is disabled. Thread-safe: the
-  /// façade shares one observer across concurrent scenario threads.
+  /// are views of the map and its projection from the scoring call (a batch
+  /// scatter passes SoA column gathers; nothing is re-scored) — they are
+  /// copied where retained, never stored as views. No-op while observability
+  /// is disabled. Thread-safe: the façade shares one observer across
+  /// concurrent scenario threads.
   void record(const ModelSnapshot& snapshot, const Verdict& verdict,
-              const std::vector<double>& raw,
-              const std::vector<double>& reduced);
+              std::span<const double> raw, std::span<const double> reduced);
 
   /// Rebuild the model-health monitor against a new snapshot (hot model
   /// swap): the health baseline always belongs to the model being scored

@@ -107,7 +107,7 @@ void Session::refresh_model(std::uint64_t interval_index) {
   epoch_ = fresh_epoch;
 }
 
-Verdict Session::analyze(const std::vector<double>& raw,
+Verdict Session::analyze(std::span<const double> raw,
                          std::uint64_t interval_index) {
   // Interval-boundary pickup: one relaxed load per interval; the swap is
   // adopted before this map is scored, so no map is ever dropped or scored
@@ -130,6 +130,83 @@ std::vector<Verdict> Session::run(IntervalSource& source) {
     verdicts.push_back(analyze(item->map));
   }
   return verdicts;
+}
+
+void DetectionEngine::analyze_shard(std::span<Session* const> sessions,
+                                    std::span<const std::span<const double>> raws,
+                                    std::span<const std::uint64_t> interval_indices,
+                                    ShardWorkspace& workspace,
+                                    std::vector<Verdict>* verdicts) const {
+  MHM_ASSERT(sessions.size() == raws.size() &&
+                 sessions.size() == interval_indices.size(),
+             "analyze_shard: sessions/raws/intervals must be parallel");
+  if (sessions.empty()) return;
+
+  // Gather: interval-boundary model pickup per session, in session order —
+  // exactly the check each session's own analyze() would have run first.
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    Session& s = *sessions[i];
+    if (s.shared_->epoch.load(std::memory_order_acquire) != s.epoch_) {
+      s.refresh_model(interval_indices[i]);
+    }
+  }
+  const ModelSnapshot* model = sessions.front()->snap_.get();
+  bool homogeneous = true;
+  for (Session* s : sessions) homogeneous &= (s->snap_.get() == model);
+  if (!homogeneous) {
+    // A swap_model() landed between two pickups of the gather loop, so the
+    // shard spans two model versions. Score serially per session — the
+    // serial path is bit-identical, just unbatched.
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      const Verdict v = sessions[i]->analyze(raws[i], interval_indices[i]);
+      if (verdicts != nullptr) verdicts->push_back(v);
+    }
+    return;
+  }
+
+  workspace.batch.clear(model->pca.input_dim());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    workspace.batch.push(raws[i], interval_indices[i]);
+  }
+  score_snapshot_batch(*model, workspace.batch, workspace.scratch);
+
+  // Scatter in session order: each verdict flows through its own session's
+  // observer exactly as its serial analyze() would have recorded it.
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    Session& s = *sessions[i];
+    const Verdict v = workspace.batch.verdict(i);
+    workspace.batch.extract_reduced(i, s.scratch_.reduced);
+    s.observer_->record(*s.snap_, v, raws[i], s.scratch_.reduced);
+    if (verdicts != nullptr) verdicts->push_back(v);
+  }
+}
+
+std::size_t DetectionEngine::pump_shard(std::span<Session* const> sessions,
+                                        std::span<IntervalSource* const> sources,
+                                        ShardWorkspace& workspace,
+                                        std::vector<Verdict>* verdicts) const {
+  MHM_ASSERT(sessions.size() == sources.size(),
+             "pump_shard: sessions/sources must be parallel");
+  if (workspace.raw_rows.size() < sessions.size()) {
+    workspace.raw_rows.resize(sessions.size());
+  }
+  workspace.live_sessions.clear();
+  workspace.live_raws.clear();
+  workspace.live_intervals.clear();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    auto item = sources[i]->next();
+    if (!item.has_value()) continue;
+    const std::size_t slot = workspace.live_sessions.size();
+    item->map.as_vector_into(workspace.raw_rows[slot]);
+    workspace.live_sessions.push_back(sessions[i]);
+    workspace.live_raws.push_back(workspace.raw_rows[slot]);
+    workspace.live_intervals.push_back(item->map.interval_index);
+  }
+  if (!workspace.live_sessions.empty()) {
+    analyze_shard(workspace.live_sessions, workspace.live_raws,
+                  workspace.live_intervals, workspace, verdicts);
+  }
+  return workspace.live_sessions.size();
 }
 
 }  // namespace mhm::engine

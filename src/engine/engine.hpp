@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/snapshot.hpp"
@@ -58,8 +59,7 @@ class Session {
   Session& operator=(Session&&) = default;
 
   Verdict analyze(const HeatMap& map);
-  Verdict analyze(const std::vector<double>& raw,
-                  std::uint64_t interval_index);
+  Verdict analyze(std::span<const double> raw, std::uint64_t interval_index);
 
   /// Drain a source, one verdict per interval.
   std::vector<Verdict> run(IntervalSource& source);
@@ -97,10 +97,26 @@ class Session {
   std::vector<ModelTransition> transitions_;
 };
 
+/// Reusable workspace for the shard scoring entry points: the SoA batch,
+/// its scratch, and the gather staging buffers. One per driving thread —
+/// shard calls reuse its high-water-marked buffers, so steady-state shard
+/// scoring allocates nothing. Never share one across concurrent shard calls.
+struct ShardWorkspace {
+  ScoreBatch batch;
+  BatchScoreScratch scratch;
+  /// pump_shard staging: per-slot raw-row buffers (capacity reused across
+  /// pumps) and the compacted live-slot arrays.
+  std::vector<std::vector<double>> raw_rows;
+  std::vector<Session*> live_sessions;
+  std::vector<std::span<const double>> live_raws;
+  std::vector<std::uint64_t> live_intervals;
+};
+
 /// The serving-shaped core of the reproduction: owns the current immutable
 /// ModelSnapshot and vends independent scoring Sessions. The engine itself
 /// holds no scratch and no journal — it is safe to share across threads;
-/// all mutable per-stream state lives in the sessions.
+/// all mutable per-stream state lives in the sessions (and, for the shard
+/// path, in the caller's ShardWorkspace).
 class DetectionEngine {
  public:
   explicit DetectionEngine(std::shared_ptr<const ModelSnapshot> snapshot);
@@ -116,6 +132,33 @@ class DetectionEngine {
   std::uint64_t model_version() const { return current_model()->version; }
 
   Session new_session(const SessionOptions& options = {}) const;
+
+  /// Score one ready interval from each of N sessions as a single batch:
+  /// gather (with per-session interval-boundary model pickup, in session
+  /// order), score once through score_snapshot_batch, then scatter each
+  /// verdict back through its session's StreamObserver — journal, phase
+  /// metrics and model health see exactly what a serial analyze() would
+  /// have recorded. `sessions`, `raws` and `interval_indices` are parallel
+  /// spans. Verdicts are appended to `verdicts` (when non-null) in session
+  /// order and are bit-identical to per-session analyze() calls; only
+  /// `analysis_time` differs (amortized batch share). If a concurrent
+  /// swap_model lands mid-gather and splits the shard across two model
+  /// versions, the shard falls back to the serial per-session path — same
+  /// math, no cross-model batch.
+  void analyze_shard(std::span<Session* const> sessions,
+                     std::span<const std::span<const double>> raws,
+                     std::span<const std::uint64_t> interval_indices,
+                     ShardWorkspace& workspace,
+                     std::vector<Verdict>* verdicts = nullptr) const;
+
+  /// Pull the next interval from every live source and score the shard in
+  /// one batch (exhausted sources are skipped). `sessions` and `sources`
+  /// are parallel spans. Returns the number of intervals scored — 0 means
+  /// every source is drained.
+  std::size_t pump_shard(std::span<Session* const> sessions,
+                         std::span<IntervalSource* const> sources,
+                         ShardWorkspace& workspace,
+                         std::vector<Verdict>* verdicts = nullptr) const;
 
  private:
   std::shared_ptr<detail::EngineShared> shared_;

@@ -36,7 +36,7 @@ void FlightRecorder::disarm() {}
 void FlightRecorder::set_model_health(
     std::shared_ptr<const ModelHealthMonitor>) {}
 bool FlightRecorder::armed() const { return false; }
-void FlightRecorder::note_interval(const std::vector<double>&, std::uint64_t,
+void FlightRecorder::note_interval(std::span<const double>, std::uint64_t,
                                    bool) {}
 std::string FlightRecorder::dump(const std::string&) { return ""; }
 std::string FlightRecorder::crash_file() const { return ""; }
@@ -187,17 +187,18 @@ std::string FlightRecorder::crash_file() const {
   return crash_path_;
 }
 
-void FlightRecorder::note_interval(const std::vector<double>& raw,
+void FlightRecorder::note_interval(std::span<const double> raw,
                                    std::uint64_t interval_index, bool alarm) {
   if (!g_armed.load(std::memory_order_relaxed)) return;
   const std::uint64_t now = steady_ns();
   std::lock_guard<std::mutex> lk(mu_);
   if (!g_armed.load(std::memory_order_relaxed)) return;
-  last_row_ = raw;  // assign() reuses capacity — no steady-state allocation
+  // assign() reuses capacity — no steady-state allocation.
+  last_row_.assign(raw.begin(), raw.end());
   last_interval_ = interval_index;
   have_row_ = true;
   if (alarm) {
-    alarm_row_ = raw;
+    alarm_row_.assign(raw.begin(), raw.end());
     alarm_interval_ = interval_index;
     have_alarm_row_ = true;
     if (last_alarm_dump_ns_ == 0 ||

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -73,7 +74,7 @@ class FlightRecorder {
   /// Per-interval hook (detector): remembers the raw row, refreshes the
   /// crash snapshot and — for alarms — writes a rate-limited dump. No-op
   /// while unarmed.
-  void note_interval(const std::vector<double>& raw,
+  void note_interval(std::span<const double> raw,
                      std::uint64_t interval_index, bool alarm);
 
   /// Render a fresh snapshot and write it to a new timestamped file.

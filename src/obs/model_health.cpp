@@ -313,7 +313,7 @@ ModelHealthMonitor::ModelHealthMonitor(const std::vector<double>&,
                                        const ModelHealthOptions&) {}
 ModelHealthMonitor::~ModelHealthMonitor() = default;
 void ModelHealthMonitor::observe(double, double, std::size_t, bool,
-                                 std::uint64_t, const std::vector<double>&) {}
+                                 std::uint64_t, std::span<const double>) {}
 ModelHealthStatus ModelHealthMonitor::status() const {
   return ModelHealthStatus::kOk;
 }
@@ -461,7 +461,7 @@ ModelHealthMonitor::~ModelHealthMonitor() = default;
 void ModelHealthMonitor::observe(double log10_density, double spe,
                                  std::size_t pattern, bool alarm,
                                  std::uint64_t interval_index,
-                                 const std::vector<double>& raw) {
+                                 std::span<const double> raw) {
   if (!enabled()) return;
   Impl& im = *impl_;
   std::lock_guard<std::mutex> lk(im.mu);

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -234,7 +235,7 @@ class ModelHealthMonitor {
   /// every obs metric, never feeds back into detection.
   void observe(double log10_density, double spe, std::size_t pattern,
                bool alarm, std::uint64_t interval_index,
-               const std::vector<double>& raw);
+               std::span<const double> raw);
 
   ModelHealthStatus status() const;
   ModelHealthSnapshot snapshot() const;

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
@@ -211,7 +212,10 @@ std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
                                        const AnomalyDetector* detector) {
   // Scenario fan-out: every spec simulates its own seeded system, so runs
   // are independent and the batch result equals calling run_scenario() in a
-  // loop. The shared detector is safe to score from several threads.
+  // loop. Each chunk scores through its own detector copy — copies share
+  // the model snapshot and the observer (one aggregated journal / health
+  // stream) but own their scoring scratch, so chunks never share mutable
+  // scoring state.
   std::vector<ScenarioRun> results(specs.size());
   // Long-running entry point: expose the process over MHM_OBS_PORT (no-op
   // when unset or already serving) so any batch is scrapeable mid-flight.
@@ -223,6 +227,9 @@ std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
   const bool heartbeat = progress_heartbeat_enabled();
   std::atomic<std::size_t> completed{0};
   parallel_for(specs.size(), 1, [&](std::size_t s0, std::size_t s1) {
+    std::optional<AnomalyDetector> local;
+    if (detector != nullptr) local.emplace(*detector);
+    const AnomalyDetector* chunk_detector = local ? &*local : nullptr;
     for (std::size_t s = s0; s < s1; ++s) {
       const ScenarioSpec& spec = specs[s];
       std::unique_ptr<attacks::AttackScenario> attack;
@@ -230,7 +237,7 @@ std::vector<ScenarioRun> run_scenarios(const sim::SystemConfig& config,
         attack = attacks::make_scenario(spec.attack);
       }
       results[s] = run_scenario(config, attack.get(), spec.trigger_time,
-                                spec.duration, detector, spec.seed);
+                                spec.duration, chunk_detector, spec.seed);
 
       const std::size_t done = completed.fetch_add(1) + 1;
       metrics.scenarios_run.add();

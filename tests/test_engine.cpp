@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <barrier>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +23,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/model_io.hpp"
+#include "core/snapshot.hpp"
 #include "core/trace_io.hpp"
 #include "engine/engine.hpp"
 #include "engine/sim_source.hpp"
@@ -42,6 +47,42 @@ HeatMapTrace synthetic_maps(std::size_t n, std::uint64_t seed,
     maps.push_back(std::move(m));
   }
   return maps;
+}
+
+/// Bit-level verdict comparison with hexfloat diagnostics: a one-ulp drift
+/// in the batch path must fail loudly with the exact bits on both sides.
+std::string hexf(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return std::string(buf);
+}
+
+::testing::AssertionResult verdict_bits_match(const Verdict& got,
+                                              const Verdict& want) {
+  if (std::memcmp(&got.log10_density, &want.log10_density, 8) != 0) {
+    return ::testing::AssertionFailure()
+           << "log10_density " << hexf(got.log10_density) << " != "
+           << hexf(want.log10_density);
+  }
+  if (std::memcmp(&got.spe, &want.spe, 8) != 0) {
+    return ::testing::AssertionFailure()
+           << "spe " << hexf(got.spe) << " != " << hexf(want.spe);
+  }
+  if (got.nearest_pattern != want.nearest_pattern) {
+    return ::testing::AssertionFailure()
+           << "nearest_pattern " << got.nearest_pattern << " != "
+           << want.nearest_pattern;
+  }
+  if (got.model_version != want.model_version) {
+    return ::testing::AssertionFailure() << "model_version "
+                                         << got.model_version << " != "
+                                         << want.model_version;
+  }
+  if (got.anomalous != want.anomalous) {
+    return ::testing::AssertionFailure()
+           << "anomalous " << got.anomalous << " != " << want.anomalous;
+  }
+  return ::testing::AssertionSuccess();
 }
 
 AnomalyDetector::Options tiny_options(std::size_t pca_components = 4) {
@@ -362,12 +403,141 @@ TEST_F(EngineTest, ConcurrentSessionsBitIdenticalToSerial) {
   }
 }
 
+// --- Batched SoA scoring: property + golden bit-identity pins. ---
+
+// Property: for every swept batch size, score_snapshot_batch over a
+// shuffled composition of pool maps reproduces the serial score_snapshot
+// verdicts bit-for-bit — at thread count 1 and with the composition split
+// across 4 concurrent scorers (each with its own ScoreBatch + scratch).
+TEST_F(EngineTest, PropertyBatchScoringBitIdenticalAcrossSizesAndThreads) {
+  const ModelSnapshot& model = *pipe_->det().snapshot();
+  std::vector<std::vector<double>> pool;
+  pool.reserve(attacked_->maps.size());
+  for (const auto& m : attacked_->maps) pool.push_back(m.as_vector());
+
+  // Serial reference, one verdict per pool map (scoring is stateless per
+  // interval, so any composition can be checked against this table).
+  ScoreScratch serial_scratch;
+  std::vector<Verdict> ref;
+  ref.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    ref.push_back(score_snapshot(model, pool[i],
+                                 attacked_->maps[i].interval_index,
+                                 serial_scratch));
+  }
+
+  Rng rng(0xB175);
+  for (const std::size_t bsize : {1u, 2u, 3u, 64u, 1000u}) {
+    // Shuffled composition with replacement: exercises repeated maps inside
+    // one batch and every ragged-tile width.
+    std::vector<std::size_t> comp(bsize);
+    for (auto& c : comp) {
+      c = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1));
+    }
+    std::shuffle(comp.begin(), comp.end(), rng);
+
+    for (const std::size_t nthreads : {1u, 4u}) {
+      std::vector<std::string> failures(nthreads);
+      std::vector<std::thread> workers;
+      for (std::size_t t = 0; t < nthreads; ++t) {
+        workers.emplace_back([&, t] {
+          const std::size_t lo = bsize * t / nthreads;
+          const std::size_t hi = bsize * (t + 1) / nthreads;
+          if (lo == hi) return;
+          ScoreBatch batch;
+          BatchScoreScratch scratch;
+          batch.clear(model.pca.input_dim());
+          for (std::size_t x = lo; x < hi; ++x) {
+            batch.push(pool[comp[x]], attacked_->maps[comp[x]].interval_index);
+          }
+          score_snapshot_batch(model, batch, scratch);
+          for (std::size_t b = 0; b < batch.size(); ++b) {
+            const auto result =
+                verdict_bits_match(batch.verdict(b), ref[comp[lo + b]]);
+            if (!result) {
+              failures[t] = "batch=" + std::to_string(bsize) + " threads=" +
+                            std::to_string(nthreads) + " lane=" +
+                            std::to_string(lo + b) + ": " + result.message();
+              return;
+            }
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      for (const auto& f : failures) EXPECT_TRUE(f.empty()) << f;
+    }
+  }
+}
+
+// Property: analyze_shard over shuffled shard compositions (each session
+// handed an arbitrary pool map per round) scatters verdicts bit-identical
+// to the serial per-session analyze() stream, at every swept shard size.
+TEST_F(EngineTest, PropertyShardCompositionsReproduceSerialVerdicts) {
+  const engine::DetectionEngine engine = pipe_->make_engine();
+  std::vector<std::vector<double>> rows;
+  rows.reserve(attacked_->maps.size());
+  for (const auto& m : attacked_->maps) rows.push_back(m.as_vector());
+
+  engine::SessionOptions light;
+  light.journal_capacity = 16;
+  light.top_cells = 2;
+
+  // Serial reference: one session over the whole trace.
+  engine::Session serial = engine.new_session(light);
+  std::vector<Verdict> ref;
+  ref.reserve(attacked_->maps.size());
+  for (const auto& m : attacked_->maps) ref.push_back(serial.analyze(m));
+
+  Rng rng(0x51A2D);
+  for (const std::size_t shard_size : {1u, 2u, 3u, 64u, 1000u}) {
+    std::vector<engine::Session> sessions;
+    sessions.reserve(shard_size);
+    std::vector<engine::Session*> ptrs;
+    ptrs.reserve(shard_size);
+    for (std::size_t s = 0; s < shard_size; ++s) {
+      sessions.push_back(engine.new_session(light));
+      ptrs.push_back(&sessions.back());
+    }
+
+    engine::ShardWorkspace ws;
+    std::vector<std::span<const double>> raws(shard_size);
+    std::vector<std::uint64_t> idx(shard_size);
+    std::vector<std::size_t> comp(shard_size);
+    for (int round = 0; round < 2; ++round) {
+      for (auto& c : comp) {
+        c = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(rows.size()) - 1));
+      }
+      std::shuffle(comp.begin(), comp.end(), rng);
+      for (std::size_t s = 0; s < shard_size; ++s) {
+        raws[s] = rows[comp[s]];
+        idx[s] = attacked_->maps[comp[s]].interval_index;
+      }
+      std::vector<Verdict> got;
+      engine.analyze_shard(ptrs, raws, idx, ws, &got);
+      ASSERT_EQ(got.size(), shard_size);
+      for (std::size_t s = 0; s < shard_size; ++s) {
+        EXPECT_TRUE(verdict_bits_match(got[s], ref[comp[s]]))
+            << "shard=" << shard_size << " round=" << round << " lane=" << s;
+      }
+    }
+  }
+}
+
 // --- Hot model swap. ---
 
 class HotSwapTest : public EngineTest {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "mhm_registry_swap")
+    // Per-test-name directory: under `ctest -j` each test runs as its own
+    // process, so a shared fixed path races one process's TearDown against
+    // another's registry scan.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("mhm_registry_swap_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
                .string();
     std::filesystem::remove_all(dir_);
     ModelRegistry registry(dir_);
@@ -498,6 +668,91 @@ TEST_F(HotSwapTest, ConcurrentSessionsAllPickUpSwapAtBoundary) {
       if (i >= half) {
         EXPECT_EQ(verdicts[i].log10_density, under_b[i].log10_density);
       }
+    }
+  }
+}
+
+// The shard batch path under a barrier-synchronized mid-stream swap: worker
+// threads pump disjoint session groups through analyze_shard, rendezvous at
+// the halfway boundary while the swap is published, and resume — every
+// session's verdict stream must match the per-model serial references
+// bit-for-bit, with the version stamp flipping exactly at the boundary.
+// Runs at thread counts 1 and 4 (the 4-thread leg has concurrent
+// score_snapshot_batch calls against one shared snapshot).
+TEST_F(HotSwapTest, ShardBatchesPickUpBarrierSynchronizedSwapBitIdentically) {
+  const auto snap_a = registry_->load_snapshot(1);
+  const auto snap_b = registry_->load_snapshot(2);
+
+  // Per-model serial references over the full trace.
+  const engine::DetectionEngine engine_a(snap_a);
+  const engine::DetectionEngine engine_b(snap_b);
+  engine::Session ref_a = engine_a.new_session();
+  engine::Session ref_b = engine_b.new_session();
+  engine::VectorSource src1(attacked_->maps);
+  engine::VectorSource src2(attacked_->maps);
+  const std::vector<Verdict> under_a = ref_a.run(src1);
+  const std::vector<Verdict> under_b = ref_b.run(src2);
+
+  std::vector<std::vector<double>> rows;
+  rows.reserve(attacked_->maps.size());
+  for (const auto& m : attacked_->maps) rows.push_back(m.as_vector());
+  const std::size_t half = rows.size() / 2;
+
+  for (const std::size_t nthreads : {1u, 4u}) {
+    engine::DetectionEngine engine(snap_a);
+    constexpr std::size_t kSessions = 8;
+    std::vector<engine::Session> sessions;
+    sessions.reserve(kSessions);
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      sessions.push_back(engine.new_session());
+    }
+    std::vector<std::vector<Verdict>> per_session(kSessions);
+
+    std::barrier sync(static_cast<std::ptrdiff_t>(nthreads) + 1);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      threads.emplace_back([&, t] {
+        const std::size_t lo = kSessions * t / nthreads;
+        const std::size_t hi = kSessions * (t + 1) / nthreads;
+        std::vector<engine::Session*> group;
+        for (std::size_t s = lo; s < hi; ++s) group.push_back(&sessions[s]);
+        engine::ShardWorkspace ws;
+        std::vector<std::span<const double>> raws(group.size());
+        std::vector<std::uint64_t> idx(group.size());
+        std::vector<Verdict> got;
+        const auto pump = [&](std::size_t r0, std::size_t r1) {
+          for (std::size_t r = r0; r < r1; ++r) {
+            for (std::size_t g = 0; g < group.size(); ++g) {
+              raws[g] = rows[r];
+              idx[g] = attacked_->maps[r].interval_index;
+            }
+            got.clear();
+            engine.analyze_shard(group, raws, idx, ws, &got);
+            for (std::size_t g = 0; g < group.size(); ++g) {
+              per_session[lo + g].push_back(got[g]);
+            }
+          }
+        };
+        pump(0, half);
+        sync.arrive_and_wait();  // First half scored, swap not yet visible.
+        sync.arrive_and_wait();  // Swap published.
+        pump(half, rows.size());
+      });
+    }
+    sync.arrive_and_wait();
+    engine.swap_model(snap_b);
+    sync.arrive_and_wait();
+    for (auto& th : threads) th.join();
+
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      ASSERT_EQ(per_session[s].size(), rows.size());
+      for (std::size_t i = 0; i < per_session[s].size(); ++i) {
+        const Verdict& want = i < half ? under_a[i] : under_b[i];
+        EXPECT_TRUE(verdict_bits_match(per_session[s][i], want))
+            << "threads=" << nthreads << " session=" << s << " interval="
+            << i;
+      }
+      EXPECT_EQ(sessions[s].transitions().size(), 1u);
     }
   }
 }

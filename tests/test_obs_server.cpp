@@ -404,7 +404,8 @@ TEST(FlightRecorderTest, DumpWritesParseableFile) {
   opts.dir = dir;
   opts.handle_signals = false;  // Leave gtest's death-test handlers alone.
   ASSERT_TRUE(FlightRecorder::instance().arm(opts, journal));
-  FlightRecorder::instance().note_interval({1.0, 2.0, 3.0}, 41, false);
+  const std::vector<double> row41 = {1.0, 2.0, 3.0};
+  FlightRecorder::instance().note_interval(row41, 41, false);
 
   const std::string path = FlightRecorder::instance().dump("unit_test");
   ASSERT_FALSE(path.empty());
