@@ -29,13 +29,24 @@ DetectorMetrics& detector_metrics() {
 }
 
 std::shared_ptr<obs::ModelHealthMonitor> build_health(
-    const ModelSnapshot& snapshot) {
+    const ModelSnapshot& snapshot, const StreamObserver::Options& options) {
   // The monitor's training baseline is the same validation-score vector
   // θ_p was calibrated from — persisted by model_io, so assembled models
   // get a monitor too. No re-scoring anywhere.
+  if (!options.attach_health) return nullptr;
   obs::ModelHealthOptions mh = obs::ModelHealthOptions::from_env();
   if (!mh.attach) return nullptr;
   mh.expected_p = snapshot.primary.p;
+  // Per-session sizing overrides (the fleet preset): kFromEnv keeps the
+  // environment/global default, anything else replaces it.
+  constexpr std::size_t kFromEnv = StreamObserver::Options::kFromEnv;
+  if (options.health_history != kFromEnv) mh.history = options.health_history;
+  if (options.health_row_stride != kFromEnv) {
+    mh.row_stride = options.health_row_stride;
+  }
+  if (options.health_max_events != kFromEnv) {
+    mh.max_events = options.health_max_events;
+  }
   std::vector<double> weights;
   weights.reserve(snapshot.gmm.component_count());
   for (const auto& c : snapshot.gmm.components()) weights.push_back(c.weight);
@@ -56,7 +67,8 @@ StreamObserver::StreamObserver(const ModelSnapshot& snapshot,
                          options.journal_capacity)
                    : std::make_shared<obs::DecisionJournal>()),
       phases_(std::max<std::size_t>(1, options.phases)),
-      top_cells_(options.top_cells) {
+      top_cells_(options.top_cells),
+      options_(options) {
   auto& registry = obs::Registry::instance();
   phase_metrics_.reserve(phases_);
   for (std::size_t p = 0; p < phases_; ++p) {
@@ -73,11 +85,11 @@ StreamObserver::StreamObserver(const ModelSnapshot& snapshot,
         "alarms / intervals at hyperperiod phase " + suffix);
     phase_metrics_.push_back(pm);
   }
-  health_ = build_health(snapshot);
+  health_ = build_health(snapshot, options_);
 }
 
 void StreamObserver::rebind(const ModelSnapshot& snapshot) {
-  health_ = build_health(snapshot);
+  health_ = build_health(snapshot, options_);
 }
 
 void StreamObserver::record(const ModelSnapshot& snapshot,

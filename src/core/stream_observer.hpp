@@ -29,6 +29,10 @@ namespace mhm {
 class StreamObserver {
  public:
   struct Options {
+    /// "Keep the environment/global default" sentinel for the model-health
+    /// sizing overrides below.
+    static constexpr std::size_t kFromEnv = static_cast<std::size_t>(-1);
+
     /// Decision-journal ring capacity (0 keeps the journal default).
     std::size_t journal_capacity = 0;
     /// Modulus for the journal's hyperperiod-phase label. The phase metric
@@ -38,6 +42,19 @@ class StreamObserver {
     /// Cells ranked by |z| against the training baseline in each alarm's
     /// journal record (0 disables the per-alarm explanation).
     std::size_t top_cells = 8;
+    /// Per-session model-health sketch sizing (fleet preset): a lone
+    /// monitored stream can afford the full dashboard buffers; 10k fleet
+    /// sessions cannot. kFromEnv keeps ModelHealthOptions::from_env();
+    /// explicit values override just that knob. history is the recent-score
+    /// ring (0 = none), row_stride the raw-row copy cadence (0 = never
+    /// copy), max_events the transition log (0 = none).
+    std::size_t health_history = kFromEnv;
+    std::size_t health_row_stride = kFromEnv;
+    std::size_t health_max_events = kFromEnv;
+    /// False skips the per-session ModelHealthMonitor entirely (drift /
+    /// calibration state is then someone else's job — e.g. the fleet
+    /// aggregator's rollup of a sampled subset).
+    bool attach_health = true;
   };
 
   /// Builds the phase handle cache and (unless MHM_DRIFT_DISABLE=1) a
@@ -91,6 +108,7 @@ class StreamObserver {
   std::shared_ptr<obs::DecisionJournal> journal_;
   std::size_t phases_ = 10;
   std::size_t top_cells_ = 8;
+  Options options_;  ///< Kept so rebind() re-applies the health overrides.
   std::vector<PhaseMetrics> phase_metrics_;
   std::shared_ptr<obs::ModelHealthMonitor> health_;
 };

@@ -86,6 +86,10 @@ Session::Session(std::shared_ptr<detail::EngineShared> shared,
   obs_options.journal_capacity = options.journal_capacity;
   obs_options.phases = options.phases;
   obs_options.top_cells = options.top_cells;
+  obs_options.health_history = options.health_history;
+  obs_options.health_row_stride = options.health_row_stride;
+  obs_options.health_max_events = options.health_max_events;
+  obs_options.attach_health = options.attach_health;
   observer_ = std::make_unique<StreamObserver>(*snap_, obs_options);
 }
 

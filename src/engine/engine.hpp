@@ -26,11 +26,35 @@ struct EngineShared {
 
 }  // namespace detail
 
-/// Per-session knobs — mirrors AnomalyDetector::Options' journal fields.
+/// Per-session knobs — mirrors AnomalyDetector::Options' journal fields
+/// plus the StreamObserver's model-health sizing overrides (the fleet
+/// preset: thousands of sessions must not each inherit single-stream-sized
+/// observability buffers; see fleet_preset()).
 struct SessionOptions {
+  /// "Keep the environment/global default" sentinel for the health knobs.
+  static constexpr std::size_t kFromEnv = static_cast<std::size_t>(-1);
+
   std::size_t journal_capacity = 0;  ///< 0 keeps the journal default.
   std::size_t phases = 10;           ///< Hyperperiod-phase modulus.
   std::size_t top_cells = 8;         ///< Per-alarm cell explanations.
+  std::size_t health_history = kFromEnv;     ///< Recent-score ring (0=none).
+  std::size_t health_row_stride = kFromEnv;  ///< Raw-row cadence (0=never).
+  std::size_t health_max_events = kFromEnv;  ///< Transition log (0=none).
+  bool attach_health = true;  ///< False skips the per-session monitor.
+
+  /// Memory-bounded defaults for fleet-scale sessions: a short journal, no
+  /// sparkline history, no raw-row copies, a handful of transition events,
+  /// no per-alarm cell explanations. ~KBs per session instead of ~100s of
+  /// KBs; the knobs are documented in docs/OBSERVABILITY.md.
+  static SessionOptions fleet_preset() {
+    SessionOptions o;
+    o.journal_capacity = 32;
+    o.top_cells = 0;
+    o.health_history = 0;
+    o.health_row_stride = 0;
+    o.health_max_events = 4;
+    return o;
+  }
 };
 
 /// One hot model swap as a session saw it: the first interval scored with

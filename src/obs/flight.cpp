@@ -35,6 +35,7 @@ bool FlightRecorder::arm(const Options&,
 void FlightRecorder::disarm() {}
 void FlightRecorder::set_model_health(
     std::shared_ptr<const ModelHealthMonitor>) {}
+void FlightRecorder::set_fleet(std::function<std::string()>) {}
 bool FlightRecorder::armed() const { return false; }
 void FlightRecorder::note_interval(std::span<const double>, std::uint64_t,
                                    bool) {}
@@ -170,12 +171,18 @@ void FlightRecorder::disarm() {
   crash_path_.clear();
   journal_.reset();
   model_health_.reset();
+  fleet_ = nullptr;
 }
 
 void FlightRecorder::set_model_health(
     std::shared_ptr<const ModelHealthMonitor> monitor) {
   std::lock_guard<std::mutex> lk(mu_);
   model_health_ = std::move(monitor);
+}
+
+void FlightRecorder::set_fleet(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fleet_ = std::move(provider);
 }
 
 bool FlightRecorder::armed() const {
@@ -237,6 +244,9 @@ std::string FlightRecorder::render_locked(const std::string& reason) const {
   if (model_health_ != nullptr) {
     os << "== model_health ==\n"
        << model_health_json(model_health_->snapshot()) << "\n";
+  }
+  if (fleet_) {
+    os << "== fleet ==\n" << fleet_() << "\n";
   }
   const bool alarm_row = have_alarm_row_;
   if (alarm_row || have_row_) {

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -71,6 +72,12 @@ class FlightRecorder {
   /// Cleared by disarm().
   void set_model_health(std::shared_ptr<const ModelHealthMonitor> monitor);
 
+  /// Attach (or detach with an empty function) a fleet JSON provider (the
+  /// FleetAggregator's snapshot renderer): dumps then carry a `== fleet ==`
+  /// section, so a crash mid-fleet-run leaves the rollup and top-K ranking
+  /// in the black box. Cleared by disarm().
+  void set_fleet(std::function<std::string()> provider);
+
   /// Per-interval hook (detector): remembers the raw row, refreshes the
   /// crash snapshot and — for alarms — writes a rate-limited dump. No-op
   /// while unarmed.
@@ -95,6 +102,7 @@ class FlightRecorder {
   Options options_;
   std::shared_ptr<const DecisionJournal> journal_;
   std::shared_ptr<const ModelHealthMonitor> model_health_;
+  std::function<std::string()> fleet_;
   std::vector<double> last_row_;
   std::uint64_t last_interval_ = 0;
   bool have_row_ = false;

@@ -195,6 +195,12 @@ ModelHealthOptions ModelHealthOptions::from_env() {
   o.min_intervals = env_u64("MHM_DRIFT_MIN_INTERVALS", o.min_intervals);
   o.warmup = env_u64("MHM_DRIFT_WARMUP", o.warmup);
   o.z_clamp = env_double("MHM_DRIFT_Z_CLAMP", o.z_clamp);
+  o.history = static_cast<std::size_t>(
+      env_u64("MHM_DRIFT_HISTORY", o.history));
+  o.row_stride = static_cast<std::size_t>(
+      env_u64("MHM_DRIFT_ROW_STRIDE", o.row_stride));
+  o.max_events = static_cast<std::size_t>(
+      env_u64("MHM_DRIFT_MAX_EVENTS", o.max_events));
   o.attach = env_u64("MHM_DRIFT_DISABLE", 0) == 0;
   return o;
 }
@@ -502,8 +508,11 @@ void ModelHealthMonitor::observe(double log10_density, double spe,
   }
   // The raw row copy is O(L); a strided copy keeps the amortized hook cost
   // flat while the watch dashboard still sees a fresh row every poll.
-  const std::size_t stride = std::max<std::size_t>(1, im.opts.row_stride);
-  if (im.last_row.empty() || alarm || interval_index % stride == 0) {
+  // Stride 0 disables the copy entirely: a fleet of 10k sessions cannot
+  // afford an L-sized row buffer each, and nothing polls them individually.
+  if (im.opts.row_stride > 0 &&
+      (im.last_row.empty() || alarm ||
+       interval_index % im.opts.row_stride == 0)) {
     im.last_row.assign(raw.begin(), raw.end());
     im.last_row_interval = interval_index;
   }
@@ -521,11 +530,13 @@ void ModelHealthMonitor::observe(double log10_density, double spe,
   if (next != im.current) {
     if (next == ModelHealthStatus::kDrifting) im.c_drift.add();
     if (next == ModelHealthStatus::kMiscalibrated) im.c_breach.add();
-    if (im.events.size() >= im.opts.max_events) {
-      im.events.erase(im.events.begin());
+    if (im.opts.max_events > 0) {
+      if (im.events.size() >= im.opts.max_events) {
+        im.events.erase(im.events.begin());
+      }
+      im.events.push_back(ModelHealthEvent{interval_index, im.current, next,
+                                           im.describe_locked()});
     }
-    im.events.push_back(ModelHealthEvent{interval_index, im.current, next,
-                                         im.describe_locked()});
     im.current = next;
   }
 

@@ -158,15 +158,20 @@ struct ModelHealthOptions {
   /// mean, while a sustained shift still accumulates |z| ≤ z_clamp per
   /// interval and fires within a few intervals.
   double z_clamp = 8.0;
-  std::size_t history = 240;  ///< Recent-score ring for the watch sparkline.
-  std::size_t row_stride = 8; ///< Copy the raw heat-map row every Nth interval.
+  /// Recent-score ring for the watch sparkline (0 keeps no history — the
+  /// fleet preset, where 10k sessions cannot each afford a ring).
+  std::size_t history = 240;
+  /// Copy the raw heat-map row every Nth interval; 0 disables the copy
+  /// entirely (no per-session O(L) row buffer — the fleet preset).
+  std::size_t row_stride = 8;
   std::size_t max_events = 32;  ///< Status-transition records kept.
   bool attach = true;  ///< MHM_DRIFT_DISABLE=1 leaves detectors bare.
 
   /// Defaults overridden by the MHM_DRIFT_* environment knobs:
   /// MHM_DRIFT_CUSUM_K, MHM_DRIFT_CUSUM_H, MHM_DRIFT_PH_DELTA,
   /// MHM_DRIFT_PH_LAMBDA, MHM_DRIFT_WILSON_Z, MHM_DRIFT_MIN_INTERVALS,
-  /// MHM_DRIFT_WARMUP, MHM_DRIFT_Z_CLAMP, MHM_DRIFT_DISABLE.
+  /// MHM_DRIFT_WARMUP, MHM_DRIFT_Z_CLAMP, MHM_DRIFT_DISABLE,
+  /// MHM_DRIFT_HISTORY, MHM_DRIFT_ROW_STRIDE, MHM_DRIFT_MAX_EVENTS.
   static ModelHealthOptions from_env();
 };
 

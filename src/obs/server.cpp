@@ -39,6 +39,7 @@ std::uint16_t MonitorServer::port() const { return 0; }
 void MonitorServer::set_journal(std::shared_ptr<const DecisionJournal>) {}
 void MonitorServer::set_model_health(
     std::shared_ptr<const ModelHealthMonitor>) {}
+void MonitorServer::set_fleet(std::function<std::string()>) {}
 MonitorServer& MonitorServer::instance() {
   static MonitorServer* server = new MonitorServer();
   return *server;
@@ -136,6 +137,7 @@ struct MonitorServer::Impl {
   std::mutex journal_mu;
   std::shared_ptr<const DecisionJournal> journal;
   std::shared_ptr<const ModelHealthMonitor> model_health;
+  std::function<std::string()> fleet;
 
   Counter& requests = Registry::instance().counter(
       "obs.server.requests", "HTTP requests handled by the monitor endpoint");
@@ -294,6 +296,20 @@ void MonitorServer::Impl::respond(int fd, const std::string& target) {
                   model_health_json(monitor->snapshot()) + "\n");
     return;
   }
+  if (path == "/fleet") {
+    std::function<std::string()> provider;
+    {
+      std::lock_guard<std::mutex> lk(journal_mu);
+      provider = fleet;
+    }
+    if (!provider) {
+      send_response(fd, 404, "Not Found", "text/plain",
+                    "no fleet attached\n");
+      return;
+    }
+    send_response(fd, 200, "OK", "application/json", provider() + "\n");
+    return;
+  }
   if (path == "/flush") {
     const std::string dumped = FlightRecorder::instance().dump("flush");
     if (dumped.empty()) {
@@ -379,6 +395,11 @@ void MonitorServer::set_model_health(
   impl_->model_health = std::move(monitor);
 }
 
+void MonitorServer::set_fleet(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lk(impl_->journal_mu);
+  impl_->fleet = std::move(provider);
+}
+
 MonitorServer& MonitorServer::instance() {
   static MonitorServer* server =
       new MonitorServer();  // Leaked: outlives static dtors.
@@ -398,7 +419,9 @@ bool MonitorServer::ensure_env_server(
   if (env == nullptr || env[0] == '\0') return false;
   char* end = nullptr;
   const unsigned long v = std::strtoul(env, &end, 10);
-  if (end == nullptr || *end != '\0' || v == 0 || v > 65535) return false;
+  // "0" is a valid request — bind a kernel-assigned ephemeral port (start()
+  // reports the actual one), so parallel test runs never collide.
+  if (end == nullptr || *end != '\0' || end == env || v > 65535) return false;
   Options options;
   options.port = static_cast<std::uint16_t>(v);
   if (!server.start(options)) return false;

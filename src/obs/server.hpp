@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -24,6 +25,8 @@ class ModelHealthMonitor;
 ///   /trace            span ring as Chrome trace_event JSON (Perfetto)
 ///   /model            model-health JSON: status, drift statistics, sketch
 ///                     quantiles vs training, component occupancy
+///   /fleet            fleet-aggregate JSON: device rollup, per-shard rates,
+///                     top-K most anomalous streams (set_fleet provider)
 ///   /flush            force a flight-recorder dump, returns its path
 ///
 /// Handling runs entirely on the server thread and only reads state behind
@@ -60,13 +63,22 @@ class MonitorServer {
   /// as set_journal.
   void set_model_health(std::shared_ptr<const ModelHealthMonitor> monitor);
 
+  /// JSON provider served verbatim by /fleet (the FleetAggregator's
+  /// snapshot renderer); same attach/detach semantics as set_journal. The
+  /// provider runs on the serve thread and must be safe to call
+  /// concurrently with the fleet's workers — the aggregator's snapshot path
+  /// only touches folded state behind its own per-shard locks.
+  void set_fleet(std::function<std::string()> provider);
+
   /// The process-wide server used by the MHM_OBS_PORT autostart.
   static MonitorServer& instance();
 
   /// Start instance() on MHM_OBS_PORT when the variable names a valid port
   /// and the server is not yet running; attaches `journal` and
   /// `model_health` (when non-null) either way. Returns true when the
-  /// server is (now) running. The pipeline calls this from its long-running
+  /// server is (now) running. MHM_OBS_PORT=0 binds a kernel-assigned
+  /// ephemeral port (reported on stderr and via port()) so concurrent test
+  /// processes never collide. The pipeline calls this from its long-running
   /// entry points, making any run scrapeable without code changes.
   static bool ensure_env_server(
       std::shared_ptr<const DecisionJournal> journal = nullptr,

@@ -70,6 +70,18 @@
 //       /status, /journal and /trace serve live data. --linger-ms keeps
 //       the endpoint up after the replays for external scrapers.
 //
+//   mhm_tool fleet   [--spec fleet.ini] [--devices N] [--shards S]
+//                    [--intervals I] [--seed X] [--top-k K] [--attack name]
+//                    [--trigger R] [--port P] [--watch 0|1] [--linger-ms L]
+//                    [--flight-dir DIR]
+//       Train a fast-scale detector, fan a fleet spec out into N simulated
+//       device streams (per-device archetype, seed and phase), score them
+//       through the sharded engine, and serve the aggregated rollup +
+//       top-K anomaly ranking at GET /fleet (plus fleet_* metrics). With
+//       no --spec a default steady/bursty/attacked mix is used; --watch
+//       renders a live terminal dashboard; --linger-ms keeps the endpoint
+//       up after the run for external scrapers.
+//
 //   mhm_tool watch   --port P [--interval-ms I] [--iterations N] [--clear 0|1]
 //       Live model-health dashboard: poll GET /model on a serving process
 //       (see `serve`) and render status, score sparkline vs. training
@@ -108,6 +120,7 @@
 #include "core/trace_io.hpp"
 #include "engine/engine.hpp"
 #include "engine/source.hpp"
+#include "fleet/runner.hpp"
 #include "hw/address_trace.hpp"
 #include "hw/memometer.hpp"
 #include "obs/export.hpp"
@@ -1021,10 +1034,160 @@ int cmd_watch(const Args& args) {
   return 0;
 }
 
+void render_fleet(const fleet::FleetSnapshot& snap, std::size_t rounds,
+                  std::size_t total_rounds, std::uint16_t port) {
+  std::ostringstream os;
+  char line[256];
+  os << "mhm fleet";
+  if (port != 0) os << "  http://127.0.0.1:" << port << "/fleet";
+  os << "\n";
+  std::snprintf(line, sizeof line,
+                "devices %zu | shards %zu | round %zu/%zu | intervals %llu | "
+                "alarms %llu | %.0f intervals/s\n",
+                snap.devices, snap.shards, rounds, total_rounds,
+                static_cast<unsigned long long>(snap.intervals),
+                static_cast<unsigned long long>(snap.alarms),
+                snap.intervals_per_sec);
+  os << line;
+  std::snprintf(line, sizeof line,
+                "rollup  OK %llu | DRIFTING %llu | MISCALIBRATED %llu\n",
+                static_cast<unsigned long long>(snap.devices_ok),
+                static_cast<unsigned long long>(snap.devices_drifting),
+                static_cast<unsigned long long>(snap.devices_miscalibrated));
+  os << line;
+  os << "top anomalous streams (severity = EWMA of deficit below theta):\n";
+  os << "  device  archetype         severity  alarms  status\n";
+  for (const auto& t : snap.top) {
+    std::snprintf(line, sizeof line, "  %6llu  %-16s %9.4f  %6llu  %s\n",
+                  static_cast<unsigned long long>(t.device),
+                  t.archetype.c_str(), t.severity,
+                  static_cast<unsigned long long>(t.alarms),
+                  obs::to_string(static_cast<obs::ModelHealthStatus>(
+                      t.status)));
+    os << line;
+  }
+  if (snap.top.empty()) os << "  (none yet)\n";
+  std::fputs(os.str().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+int cmd_fleet(const Args& args) {
+  // Spec file first, CLI flags layered on top.
+  fleet::FleetSpec spec;
+  const auto spec_path = args.get_optional("spec");
+  if (spec_path) spec = fleet::FleetSpec::load(*spec_path);
+  spec.devices = args.get_u64("devices", spec.devices);
+  spec.shards = args.get_u64("shards", spec.shards);
+  spec.intervals = args.get_u64("intervals", spec.intervals);
+  spec.seed = args.get_u64("seed", spec.seed);
+  spec.top_k = args.get_u64("top-k", spec.top_k);
+  if (spec.devices == 0 || spec.intervals == 0 || spec.top_k == 0) {
+    throw ConfigError("fleet: devices, intervals and top-k must be > 0");
+  }
+  if (spec.archetypes.empty()) {
+    // CLI default mix: mostly steady devices, a jittery slice, and a
+    // compromised slice running --attack from --trigger (interval index).
+    fleet::ArchetypeSpec steady;
+    steady.name = "steady";
+    steady.weight = 0.8;
+    spec.archetypes.push_back(steady);
+    fleet::ArchetypeSpec bursty;
+    bursty.name = "bursty";
+    bursty.weight = 0.1;
+    bursty.jitter_scale = 2.0;
+    spec.archetypes.push_back(bursty);
+    const std::string attack_name = args.get("attack", "shellcode");
+    if (attack_name != "normal") {
+      fleet::ArchetypeSpec attacked;
+      attacked.name = attack_name;
+      attacked.weight = 0.1;
+      attacked.attack = attack_name;
+      attacked.trigger_interval = args.get_u64("trigger", 10);
+      spec.archetypes.push_back(attacked);
+    }
+  }
+
+  const sim::SystemConfig cfg = pipeline::fast_test_config(1);
+  std::printf("training fast-scale detector (L = %zu cells)...\n",
+              cfg.monitor.cell_count());
+  std::fflush(stdout);
+  pipeline::TrainedPipeline pipe = pipeline::train_pipeline(
+      cfg, pipeline::fast_test_plan(), pipeline::fast_test_detector_options());
+
+  std::printf("simulating %zu archetypes, fanning out %zu devices / %zu "
+              "shards...\n",
+              spec.archetypes.size(), spec.devices, spec.resolved_shards());
+  std::fflush(stdout);
+  fleet::FleetRunner runner(std::move(spec), cfg, pipe.detector->snapshot());
+  const fleet::FleetSpec& fs = runner.spec();
+
+  // Serve /fleet while the run is live (and arm the recorder so any dump
+  // carries the `== fleet ==` section). Both optional: the run itself works
+  // with observability disabled.
+  obs::MonitorServer server;
+  bool armed = false;
+  if (obs::enabled()) {
+    obs::MonitorServer::Options srv_opts;
+    srv_opts.port = static_cast<std::uint16_t>(args.get_u64("port", 0));
+    if (!server.start(srv_opts)) {
+      std::fprintf(stderr, "fleet: cannot bind 127.0.0.1:%llu\n",
+                   static_cast<unsigned long long>(args.get_u64("port", 0)));
+      return 1;
+    }
+    server.set_fleet([&runner] { return runner.json(); });
+    obs::FlightRecorder::Options fr_opts;
+    fr_opts.dir = args.get("flight-dir", ".");
+    armed = obs::FlightRecorder::instance().arm(fr_opts, nullptr);
+    if (armed) {
+      obs::FlightRecorder::instance().set_fleet(
+          [&runner] { return runner.json(); });
+    }
+    std::printf("serving http://127.0.0.1:%u (fleet, metrics, healthz, "
+                "status, flush)\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+  }
+
+  const bool watch = args.get_u64("watch", 0) != 0;
+  const std::uint64_t batch =
+      std::max<std::uint64_t>(fs.health_refresh, 1);
+  while (!runner.done()) {
+    runner.run_rounds(batch);
+    if (watch) {
+      std::fputs("\033[H\033[2J", stdout);
+      render_fleet(runner.aggregator().snapshot(), runner.rounds_completed(),
+                   fs.intervals, server.port());
+    }
+  }
+
+  const fleet::FleetSnapshot snap = runner.aggregator().snapshot();
+  if (!watch) {
+    render_fleet(snap, runner.rounds_completed(), fs.intervals,
+                 server.port());
+  }
+
+  if (const std::uint64_t linger_ms = args.get_u64("linger-ms", 0)) {
+    std::printf("lingering %llu ms for external scrapers...\n",
+                static_cast<unsigned long long>(linger_ms));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+  if (armed) {
+    const std::string dump = obs::FlightRecorder::instance().dump("shutdown");
+    obs::FlightRecorder::instance().disarm();
+    if (!dump.empty()) std::printf("final dump: %s\n", dump.c_str());
+  }
+  server.stop();
+  std::printf("fleet run complete: %llu intervals, %llu alarms\n",
+              static_cast<unsigned long long>(snap.intervals),
+              static_cast<unsigned long long>(snap.alarms));
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: mhm_tool <train|record|ingest|inspect|monitor|replay"
-               "|simulate|metrics|journal|serve|watch|dump> "
+               "|simulate|metrics|journal|serve|watch|fleet|dump> "
                "[--flag value]...\n"
                "       mhm_tool replay <trace.mhmt> --model "
                "<file-or-registry-dir>\n");
@@ -1059,6 +1222,7 @@ int main(int argc, char** argv) {
     if (cmd == "journal") return cmd_journal(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "watch") return cmd_watch(args);
+    if (cmd == "fleet") return cmd_fleet(args);
     if (cmd == "dump") return cmd_dump(args);
     if (cmd == "selftest-crash") {
       // Hidden hook for the crash-dump CLI test: arm the recorder exactly
