@@ -19,6 +19,7 @@
 
 #include "bench_support.hpp"
 #include "common/parallel.hpp"
+#include "obs/incident.hpp"
 #include "obs/model_health.hpp"
 #include "obs/obs.hpp"
 #include "obs/server.hpp"
@@ -261,6 +262,61 @@ int main() {
       "[bench] model-health overhead: on=%.3fs off=%.3fs (%+.2f%%)\n",
       health_on_seconds, health_off_seconds, model_health_overhead_pct);
 
+  // History + incident overhead: the serial analyze sweep through a detector
+  // carrying the multi-resolution score history and an armed incident
+  // recorder vs. one with both stripped. The history append is O(1) ring
+  // arithmetic and the recorder is a bounded pre-ring plus burst bookkeeping
+  // per interval (bundle commits are rate-limited and this workload is
+  // normal traffic), so the gap shares the same <2% obs contract. The
+  // model-health hook is detached on both sides so only the new layers are
+  // in the difference.
+  obs::set_enabled(true);
+  const std::shared_ptr<const ModelSnapshot> overhead_snapshot =
+      overhead_detector->snapshot();
+  StreamObserver::Options hist_off_opts;
+  hist_off_opts.attach_health = false;
+  hist_off_opts.history_raw = 0;
+  AnomalyDetector hist_off_detector =
+      AnomalyDetector::from_snapshot(overhead_snapshot, hist_off_opts);
+  StreamObserver::Options hist_on_opts;
+  hist_on_opts.attach_health = false;
+  AnomalyDetector hist_on_detector =
+      AnomalyDetector::from_snapshot(overhead_snapshot, hist_on_opts);
+  obs::IncidentStore::Options inc_store_opts;
+  inc_store_opts.dir = ".";
+  obs::IncidentOptions inc_opts;
+  inc_opts.min_gap = 1ULL << 40;  // At most one bundle across the sweep.
+  hist_on_detector.attach_incidents(
+      inc_opts, std::make_shared<obs::IncidentStore>(inc_store_opts));
+  const auto history_workload = [&](AnomalyDetector& det) {
+    double sink = 0.0;
+    for (int rep = 0; rep < kAnalyzeReps; ++rep) {
+      for (const auto& m : overhead_validation) {
+        sink += det.analyze(m).log10_density;
+      }
+    }
+    return sink;
+  };
+  double history_on_seconds = 1e300;
+  double history_off_seconds = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t_hi = Clock::now();
+    obs_sink += history_workload(hist_on_detector);
+    history_on_seconds = std::min(history_on_seconds, seconds_since(t_hi));
+    t_hi = Clock::now();
+    obs_sink += history_workload(hist_off_detector);
+    history_off_seconds = std::min(history_off_seconds, seconds_since(t_hi));
+  }
+  obs::set_enabled(obs_was_enabled);
+  const double history_incident_overhead_pct =
+      history_off_seconds > 0.0
+          ? 100.0 * (history_on_seconds - history_off_seconds) /
+                history_off_seconds
+          : 0.0;
+  std::printf(
+      "[bench] history+incident overhead: on=%.3fs off=%.3fs (%+.2f%%)\n",
+      history_on_seconds, history_off_seconds, history_incident_overhead_pct);
+
   bool bit_identical = true;
   for (const auto& row : rows) {
     if (row.probe_scores != rows.front().probe_scores) bit_identical = false;
@@ -336,6 +392,12 @@ int main() {
                health_off_seconds);
   std::fprintf(json, "  \"model_health_overhead_pct\": %.3f,\n",
                model_health_overhead_pct);
+  std::fprintf(json, "  \"history_incident_on_seconds\": %.6f,\n",
+               history_on_seconds);
+  std::fprintf(json, "  \"history_incident_off_seconds\": %.6f,\n",
+               history_off_seconds);
+  std::fprintf(json, "  \"history_incident_overhead_pct\": %.3f,\n",
+               history_incident_overhead_pct);
   std::fprintf(json, "  \"bit_identical\": %s\n",
                bit_identical ? "true" : "false");
   std::fprintf(json, "}\n");

@@ -120,6 +120,20 @@ class AnomalyDetector {
     observer_->set_model_health(std::move(monitor));
   }
 
+  /// Multi-resolution score history fed by analyze() (src/obs/history).
+  std::shared_ptr<obs::ScoreHistory> score_history() const {
+    return observer_->score_history();
+  }
+  /// Attach the incident black box: alarm bursts / health transitions on
+  /// this detector's stream commit `.mhmi` bundles into `store`.
+  void attach_incidents(const obs::IncidentOptions& options,
+                        std::shared_ptr<obs::IncidentStore> store) {
+    observer_->attach_incidents(options, std::move(store));
+  }
+  std::shared_ptr<obs::IncidentRecorder> incident_recorder() const {
+    return observer_->incident_recorder();
+  }
+
   /// Reassemble from previously trained parts (deserialization): dimension
   /// compatibility between the PCA output and the GMM is validated. The
   /// assembled detector carries no CellBaseline (the raw training set is
@@ -127,6 +141,16 @@ class AnomalyDetector {
   static AnomalyDetector assemble(Eigenmemory pca, Gmm gmm,
                                   ThresholdCalibrator calibrator,
                                   double primary_p);
+
+  /// Façade over an existing snapshot — keeps the snapshot's CellBaseline
+  /// and version stamp. This is how `mhm_tool serve` re-hangs a freshly
+  /// registry-saved model (now carrying its registry version) in front of
+  /// the same observation stack.
+  static AnomalyDetector from_snapshot(
+      std::shared_ptr<const ModelSnapshot> snapshot,
+      const StreamObserver::Options& obs_options = {}) {
+    return AnomalyDetector(std::move(snapshot), obs_options);
+  }
 
  private:
   AnomalyDetector(std::shared_ptr<const ModelSnapshot> snapshot,

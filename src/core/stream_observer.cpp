@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/flight.hpp"
+#include "obs/history.hpp"
 #include "obs/metrics.hpp"
 #include "obs/model_health.hpp"
 
@@ -86,10 +87,30 @@ StreamObserver::StreamObserver(const ModelSnapshot& snapshot,
     phase_metrics_.push_back(pm);
   }
   health_ = build_health(snapshot, options_);
+  if (options_.history_raw > 0) {
+    obs::HistoryOptions ho;
+    ho.raw_capacity = options_.history_raw;
+    ho.bin_capacity = options_.history_bins;
+    ho.fold = options_.history_fold;
+    ho.tiers = options_.history_tiers;
+    history_ = std::make_shared<obs::ScoreHistory>(ho);
+  }
 }
 
 void StreamObserver::rebind(const ModelSnapshot& snapshot) {
+  // The health baseline belongs to the model being scored with; the score
+  // history and the incident recorder deliberately span the swap — the
+  // model_version column records where the transition happened.
   health_ = build_health(snapshot, options_);
+}
+
+void StreamObserver::attach_incidents(
+    const obs::IncidentOptions& options,
+    std::shared_ptr<obs::IncidentStore> store) {
+  incidents_ = store != nullptr
+                   ? std::make_shared<obs::IncidentRecorder>(options,
+                                                             std::move(store))
+                   : nullptr;
 }
 
 void StreamObserver::record(const ModelSnapshot& snapshot,
@@ -116,11 +137,40 @@ void StreamObserver::record(const ModelSnapshot& snapshot,
   }
 
   // Model-health monitor: consumes the score/SPE/pattern the scoring call
-  // already computed — the hook adds no E-step work.
+  // already computed — the hook adds no E-step work. The returned status
+  // feeds the history ring and the incident trigger below without a second
+  // lock acquisition.
+  obs::ModelHealthStatus status = obs::ModelHealthStatus::kOk;
   if (health_ != nullptr) {
-    health_->observe(verdict.log10_density, verdict.spe,
-                     verdict.nearest_pattern, verdict.anomalous,
-                     verdict.interval_index, raw);
+    status = health_->observe(verdict.log10_density, verdict.spe,
+                              verdict.nearest_pattern, verdict.anomalous,
+                              verdict.interval_index, raw);
+  }
+
+  if (history_ != nullptr) {
+    obs::HistorySample sample;
+    sample.interval = verdict.interval_index;
+    sample.score = verdict.log10_density;
+    sample.spe = verdict.spe;
+    sample.alarm = verdict.anomalous;
+    sample.status = static_cast<std::uint8_t>(status);
+    sample.model_version = verdict.model_version;
+    history_->append(sample);
+  }
+
+  if (incidents_ != nullptr) {
+    const CellBaseline* bl = snapshot.baseline.get();
+    const std::span<const double> bl_mean =
+        bl != nullptr ? std::span<const double>(bl->mean)
+                      : std::span<const double>{};
+    const std::span<const double> bl_stddev =
+        bl != nullptr ? std::span<const double>(bl->stddev)
+                      : std::span<const double>{};
+    incidents_->note(verdict.interval_index, verdict.log10_density,
+                     verdict.spe, verdict.anomalous, verdict.nearest_pattern,
+                     verdict.model_version, snapshot.primary.log10_value,
+                     static_cast<std::uint8_t>(status), raw, bl_mean,
+                     bl_stddev);
   }
 
   // The record is thread_local and handed to the journal by swap, so its

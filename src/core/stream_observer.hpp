@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/snapshot.hpp"
+#include "obs/incident.hpp"
 #include "obs/journal.hpp"
 
 namespace mhm::obs {
@@ -13,6 +14,7 @@ class Counter;
 class Gauge;
 class Histogram;
 class ModelHealthMonitor;
+class ScoreHistory;
 }  // namespace mhm::obs
 
 namespace mhm {
@@ -55,6 +57,13 @@ class StreamObserver {
     /// calibration state is then someone else's job — e.g. the fleet
     /// aggregator's rollup of a sampled subset).
     bool attach_health = true;
+    /// Multi-resolution score history ring (obs/history): raw last-N ring
+    /// plus min/mean/max folded tiers. history_raw = 0 skips the history
+    /// entirely; the fleet preset shrinks it to fit the session budget.
+    std::size_t history_raw = 256;
+    std::size_t history_bins = 128;
+    std::size_t history_fold = 8;
+    std::size_t history_tiers = 2;
   };
 
   /// Builds the phase handle cache and (unless MHM_DRIFT_DISABLE=1) a
@@ -89,6 +98,20 @@ class StreamObserver {
     health_ = std::move(monitor);
   }
 
+  /// Multi-resolution score history (null when history_raw = 0).
+  std::shared_ptr<obs::ScoreHistory> score_history() const {
+    return history_;
+  }
+
+  /// Attach the incident black box: the recorder watches this stream's
+  /// verdict/health sequence and commits `.mhmi` bundles into `store` on an
+  /// alarm burst or an OK→degraded health transition. Null store detaches.
+  void attach_incidents(const obs::IncidentOptions& options,
+                        std::shared_ptr<obs::IncidentStore> store);
+  std::shared_ptr<obs::IncidentRecorder> incident_recorder() const {
+    return incidents_;
+  }
+
   std::size_t phases() const { return phases_; }
 
   /// The process-wide `detector.analysis_ns` registry histogram — every
@@ -111,6 +134,8 @@ class StreamObserver {
   Options options_;  ///< Kept so rebind() re-applies the health overrides.
   std::vector<PhaseMetrics> phase_metrics_;
   std::shared_ptr<obs::ModelHealthMonitor> health_;
+  std::shared_ptr<obs::ScoreHistory> history_;
+  std::shared_ptr<obs::IncidentRecorder> incidents_;
 };
 
 }  // namespace mhm

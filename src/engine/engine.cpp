@@ -90,6 +90,10 @@ Session::Session(std::shared_ptr<detail::EngineShared> shared,
   obs_options.health_row_stride = options.health_row_stride;
   obs_options.health_max_events = options.health_max_events;
   obs_options.attach_health = options.attach_health;
+  obs_options.history_raw = options.history_raw;
+  obs_options.history_bins = options.history_bins;
+  obs_options.history_fold = options.history_fold;
+  obs_options.history_tiers = options.history_tiers;
   observer_ = std::make_unique<StreamObserver>(*snap_, obs_options);
 }
 

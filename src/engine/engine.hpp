@@ -41,11 +41,18 @@ struct SessionOptions {
   std::size_t health_row_stride = kFromEnv;  ///< Raw-row cadence (0=never).
   std::size_t health_max_events = kFromEnv;  ///< Transition log (0=none).
   bool attach_health = true;  ///< False skips the per-session monitor.
+  /// Multi-resolution score history (obs/history): raw ring length (0 skips
+  /// the history), folded-tier bin count, fold factor and tier count.
+  std::size_t history_raw = 256;
+  std::size_t history_bins = 128;
+  std::size_t history_fold = 8;
+  std::size_t history_tiers = 2;
 
   /// Memory-bounded defaults for fleet-scale sessions: a short journal, no
   /// sparkline history, no raw-row copies, a handful of transition events,
-  /// no per-alarm cell explanations. ~KBs per session instead of ~100s of
-  /// KBs; the knobs are documented in docs/OBSERVABILITY.md.
+  /// no per-alarm cell explanations, a shrunken score-history ring. ~KBs
+  /// per session instead of ~100s of KBs; the knobs are documented in
+  /// docs/OBSERVABILITY.md.
   static SessionOptions fleet_preset() {
     SessionOptions o;
     o.journal_capacity = 32;
@@ -53,6 +60,10 @@ struct SessionOptions {
     o.health_history = 0;
     o.health_row_stride = 0;
     o.health_max_events = 4;
+    o.history_raw = 32;
+    o.history_bins = 16;
+    o.history_fold = 8;
+    o.history_tiers = 1;
     return o;
   }
 };
@@ -104,6 +115,17 @@ class Session {
   }
   std::shared_ptr<obs::ModelHealthMonitor> model_health() const {
     return observer_->model_health();
+  }
+  std::shared_ptr<obs::ScoreHistory> score_history() const {
+    return observer_->score_history();
+  }
+  /// Attach/detach the incident black box (see StreamObserver).
+  void attach_incidents(const obs::IncidentOptions& options,
+                        std::shared_ptr<obs::IncidentStore> store) {
+    observer_->attach_incidents(options, std::move(store));
+  }
+  std::shared_ptr<obs::IncidentRecorder> incident_recorder() const {
+    return observer_->incident_recorder();
   }
 
  private:

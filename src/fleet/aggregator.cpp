@@ -20,6 +20,13 @@ namespace {
 /// anomalous one keeps its rank.
 constexpr double kSeverityAlpha = 0.25;
 
+/// Sentinel for "this device has never marked an incident".
+constexpr std::uint64_t kNeverMarked = ~0ULL;
+
+/// Folded incident marks kept per shard — bounds a pathological fleet where
+/// every device alarms forever to a fixed scrape-side footprint.
+constexpr std::size_t kMaxFoldedMarks = 256;
+
 std::string json_num(double v) {
   char buf[40];
   if (!std::isfinite(v)) {
@@ -42,9 +49,14 @@ struct FleetAggregator::Shard {
   alignas(64) std::atomic<std::uint64_t> intervals{0};
   std::atomic<std::uint64_t> alarms{0};
 
+  /// Owner-only staging: marks produced by record_chunk since the last
+  /// fold (the owning worker's thread, no lock needed).
+  std::vector<IncidentMark> pending_marks;
+
   mutable std::mutex mu;
   std::array<std::uint64_t, 3> status_counts{};  ///< OK/DRIFT/MISCAL devices.
   std::vector<TopStream> top;                    ///< Local top-K, folded.
+  std::vector<IncidentMark> marks;  ///< Folded, newest-trimmed ring.
   double intervals_per_sec = 0.0;
 
   obs::Gauge* g_intervals = nullptr;
@@ -65,6 +77,7 @@ FleetAggregator::FleetAggregator(const FleetSpec& spec,
              "FleetAggregator: shard ranges must cover [0, devices)");
   severity_.assign(archetype_of_.size(), 0.0);
   device_alarms_.assign(archetype_of_.size(), 0);
+  last_mark_.assign(archetype_of_.size(), kNeverMarked);
 
   auto& reg = obs::Registry::instance();
   reg.gauge("fleet.devices", "simulated device streams in the fleet")
@@ -108,6 +121,16 @@ void FleetAggregator::record_chunk(std::size_t shard,
     if (v.anomalous) {
       ++alarm_count;
       ++device_alarms_[d];
+      // Rate-limited incident mark: one per device per incident_gap. The
+      // mark is the unit co-temporal grouping chains at snapshot time.
+      if (last_mark_[d] == kNeverMarked ||
+          v.interval_index - last_mark_[d] >= spec_.incident_gap) {
+        last_mark_[d] = v.interval_index;
+        sh.pending_marks.push_back(IncidentMark{
+            .interval = v.interval_index,
+            .device = static_cast<std::uint64_t>(d),
+            .archetype = archetype_of_[d]});
+      }
     }
     const double deficit = std::max(0.0, threshold - v.log10_density);
     severity_[d] += kSeverityAlpha * (deficit - severity_[d]);
@@ -166,6 +189,16 @@ void FleetAggregator::fold_shard(std::size_t shard,
     std::lock_guard<std::mutex> lk(sh.mu);
     sh.status_counts = counts;
     sh.top = std::move(top);
+    // Publish the owner-side marks to the scrape-visible folded list,
+    // newest-trimmed so a perpetually alarming fleet stays bounded.
+    sh.marks.insert(sh.marks.end(), sh.pending_marks.begin(),
+                    sh.pending_marks.end());
+    if (sh.marks.size() > kMaxFoldedMarks) {
+      sh.marks.erase(sh.marks.begin(),
+                     sh.marks.begin() + static_cast<std::ptrdiff_t>(
+                                            sh.marks.size() -
+                                            kMaxFoldedMarks));
+    }
     if (elapsed_seconds > 0.0) {
       sh.intervals_per_sec =
           static_cast<double>(shard_intervals) / elapsed_seconds;
@@ -173,6 +206,7 @@ void FleetAggregator::fold_shard(std::size_t shard,
     sh.g_intervals->set(static_cast<double>(shard_intervals));
     sh.g_rate->set(sh.intervals_per_sec);
   }
+  sh.pending_marks.clear();
 
   // Fleet-level series: O(shards) refresh from the folded cells. Concurrent
   // folds race benignly on the gauges (last write wins; each writer
@@ -182,12 +216,14 @@ void FleetAggregator::fold_shard(std::size_t shard,
   std::array<std::uint64_t, 3> rollup{};
   double rate = 0.0;
   double top_severity = 0.0;
+  std::size_t folded_marks = 0;
   for (const auto& other : shards_) {
     intervals += other->intervals.load(std::memory_order_relaxed);
     alarms += other->alarms.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(other->mu);
     for (std::size_t i = 0; i < 3; ++i) rollup[i] += other->status_counts[i];
     rate += other->intervals_per_sec;
+    folded_marks += other->marks.size();
     if (!other->top.empty()) {
       top_severity = std::max(top_severity, other->top.front().severity);
     }
@@ -208,6 +244,10 @@ void FleetAggregator::fold_shard(std::size_t shard,
             "severity of the most anomalous stream in the fleet")
       .set(top_severity);
   reg.gauge("fleet.intervals_per_sec", "fleet-wide scoring rate").set(rate);
+  reg.gauge("fleet.incident_marks",
+            "rate-limited per-device incident marks held in the folded "
+            "rings")
+      .set(static_cast<double>(folded_marks));
 }
 
 FleetSnapshot FleetAggregator::snapshot() const {
@@ -217,6 +257,7 @@ FleetSnapshot FleetAggregator::snapshot() const {
   snap.shard_summaries.reserve(shards_.size());
 
   std::vector<TopStream> merged;
+  std::vector<IncidentMark> all_marks;
   for (const auto& sh : shards_) {
     ShardSummary summary;
     summary.devices = sh->end - sh->begin;
@@ -231,10 +272,53 @@ FleetSnapshot FleetAggregator::snapshot() const {
       snap.devices_drifting += sh->status_counts[1];
       snap.devices_miscalibrated += sh->status_counts[2];
       merged.insert(merged.end(), sh->top.begin(), sh->top.end());
+      all_marks.insert(all_marks.end(), sh->marks.begin(), sh->marks.end());
     }
     snap.intervals_per_sec += summary.intervals_per_sec;
     snap.shard_summaries.push_back(summary);
   }
+
+  // Co-temporal grouping: chain marks whose interval is within
+  // incident_window of the previous mark in the group. The sort makes the
+  // result a function of the folded marks alone — bit-identical at any
+  // MHM_THREADS.
+  std::sort(all_marks.begin(), all_marks.end(),
+            [](const IncidentMark& a, const IncidentMark& b) {
+              if (a.interval != b.interval) return a.interval < b.interval;
+              return a.device < b.device;
+            });
+  std::vector<std::uint64_t> group_devices;
+  std::vector<std::uint8_t> group_archetypes;
+  const auto flush_group = [&](IncidentGroup& g) {
+    std::sort(group_devices.begin(), group_devices.end());
+    g.devices = static_cast<std::size_t>(
+        std::unique(group_devices.begin(), group_devices.end()) -
+        group_devices.begin());
+    std::sort(group_archetypes.begin(), group_archetypes.end());
+    group_archetypes.erase(
+        std::unique(group_archetypes.begin(), group_archetypes.end()),
+        group_archetypes.end());
+    for (std::uint8_t a : group_archetypes) {
+      g.archetypes.push_back(archetype_names_[a]);
+    }
+    snap.incident_groups.push_back(std::move(g));
+    group_devices.clear();
+    group_archetypes.clear();
+  };
+  IncidentGroup current;
+  for (const IncidentMark& m : all_marks) {
+    if (current.marks != 0 &&
+        m.interval - current.last_interval > spec_.incident_window) {
+      flush_group(current);
+      current = IncidentGroup{};
+    }
+    if (current.marks == 0) current.first_interval = m.interval;
+    current.last_interval = m.interval;
+    ++current.marks;
+    group_devices.push_back(m.device);
+    group_archetypes.push_back(m.archetype);
+  }
+  if (current.marks != 0) flush_group(current);
 
   // Deterministic merge of the ≤ shards × K folded candidates.
   std::sort(merged.begin(), merged.end(),
@@ -273,6 +357,20 @@ std::string fleet_json(const FleetSnapshot& snapshot) {
        << ",\"alarms\":" << t.alarms << ",\"status\":\""
        << obs::to_string(static_cast<obs::ModelHealthStatus>(t.status))
        << "\"}";
+  }
+  os << "],\"incident_groups\":[";
+  for (std::size_t i = 0; i < snapshot.incident_groups.size(); ++i) {
+    const IncidentGroup& g = snapshot.incident_groups[i];
+    if (i > 0) os << ",";
+    os << "{\"first_interval\":" << g.first_interval
+       << ",\"last_interval\":" << g.last_interval
+       << ",\"devices\":" << g.devices << ",\"marks\":" << g.marks
+       << ",\"archetypes\":[";
+    for (std::size_t a = 0; a < g.archetypes.size(); ++a) {
+      if (a > 0) os << ",";
+      os << "\"" << g.archetypes[a] << "\"";
+    }
+    os << "]}";
   }
   os << "]}";
   return os.str();

@@ -26,6 +26,25 @@ struct TopStream {
   int status = 0;  ///< ModelHealthStatus at the last fold (0/1/2).
 };
 
+/// One rate-limited incident mark: device d started an alarm wave at
+/// `interval` (at most one mark per device per FleetSpec::incident_gap).
+struct IncidentMark {
+  std::uint64_t interval = 0;
+  std::uint64_t device = 0;
+  std::uint8_t archetype = 0;
+};
+
+/// Co-temporal group of incident marks: marks within
+/// FleetSpec::incident_window intervals of each other chain into one group —
+/// the fleet's "this wave hit N devices at once" forensics unit.
+struct IncidentGroup {
+  std::uint64_t first_interval = 0;
+  std::uint64_t last_interval = 0;
+  std::size_t devices = 0;   ///< Distinct devices in the group.
+  std::uint64_t marks = 0;   ///< Total marks chained in.
+  std::vector<std::string> archetypes;  ///< Distinct names, sorted.
+};
+
 /// Per-shard rollup line of a snapshot.
 struct ShardSummary {
   std::size_t devices = 0;
@@ -50,6 +69,9 @@ struct FleetSnapshot {
   std::vector<ShardSummary> shard_summaries;
   /// Severity-descending (ties: device id ascending), at most spec.top_k.
   std::vector<TopStream> top;
+  /// Co-temporal incident groups, oldest first (assembled from the folded
+  /// per-shard marks; deterministic at any MHM_THREADS).
+  std::vector<IncidentGroup> incident_groups;
 };
 
 /// JSON object for a snapshot — the /fleet response body, one line.
@@ -126,6 +148,9 @@ class FleetAggregator {
   // owning shard's worker; read only inside fold_shard for that shard.
   std::vector<double> severity_;
   std::vector<std::uint64_t> device_alarms_;
+  /// Interval of the device's last incident mark (kNeverMarked until the
+  /// first); gates marks to one per incident_gap. Owner-side.
+  std::vector<std::uint64_t> last_mark_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
 };

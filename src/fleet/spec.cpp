@@ -125,6 +125,10 @@ FleetSpec FleetSpec::parse(std::istream& in) {
       spec.top_k = static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "health_refresh") {
       spec.health_refresh = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "incident_gap") {
+      spec.incident_gap = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "incident_window") {
+      spec.incident_window = static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "journal_capacity") {
       spec.journal_capacity = static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "health_history") {

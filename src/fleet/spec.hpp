@@ -50,6 +50,16 @@ struct FleetSpec {
   /// O(devices) aggregation step; everything per-interval is O(1).
   std::size_t health_refresh = 8;
 
+  // --- fleet-level incident grouping ---
+  /// Min intervals between two incident marks of the same device — the
+  /// fleet-side analogue of IncidentOptions::min_gap, so one attacked
+  /// stream contributes one mark per wave, not one per alarmed interval.
+  std::size_t incident_gap = 64;
+  /// Co-temporal window: marks within this many intervals of each other
+  /// chain into one fleet incident group (the "same wave hit N devices"
+  /// forensics view served in /fleet's incident_groups).
+  std::size_t incident_window = 16;
+
   // --- per-session observability bounds (the fleet preset) ---
   std::size_t journal_capacity = 32;
   std::size_t health_history = 0;

@@ -1,0 +1,83 @@
+#include "obs/build_info.hpp"
+
+namespace mhm::obs {
+namespace {
+
+/// The runtime-selected SIMD tier of the batch projection kernels. Kept in
+/// sync with the dispatch in core/pca.cpp: the tier is a pure function of
+/// the target triple and __builtin_cpu_supports, and obs cannot call into
+/// core (the dependency points the other way), so the probe is repeated
+/// here under the identical preprocessor condition.
+const char* probe_simd_tier() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx512f") != 0) return "avx512";
+  if (__builtin_cpu_supports("avx2") != 0) return "avx2";
+#endif
+  return "generic";
+}
+
+BuildInfo make_build_info() {
+  BuildInfo info;
+#if defined(MHM_BUILD_GIT)
+  info.git = MHM_BUILD_GIT;
+#else
+  info.git = "unknown";
+#endif
+#if defined(__VERSION__)
+  info.compiler = __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+  info.simd = probe_simd_tier();
+#if defined(MHM_OBS_DISABLED)
+  info.obs_disabled = true;
+#else
+  info.obs_disabled = false;
+#endif
+  return info;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = make_build_info();
+  return info;
+}
+
+std::string build_info_text(const std::string& prefix) {
+  const BuildInfo& info = build_info();
+  std::string out;
+  out.reserve(256);
+  out += prefix + "git " + info.git + "\n";
+  out += prefix + "compiler " + info.compiler + "\n";
+  out += prefix + "simd " + info.simd + "\n";
+  out += prefix + "obs " + (info.obs_disabled ? "disabled" : "enabled") + "\n";
+  return out;
+}
+
+std::string build_info_json() {
+  const BuildInfo& info = build_info();
+  std::string out;
+  out.reserve(256);
+  out += "{\"git\":";
+  append_escaped(out, info.git);
+  out += ",\"compiler\":";
+  append_escaped(out, info.compiler);
+  out += ",\"simd\":";
+  append_escaped(out, info.simd);
+  out += ",\"obs_disabled\":";
+  out += info.obs_disabled ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+}  // namespace mhm::obs

@@ -14,6 +14,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/build_info.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -36,6 +37,7 @@ void FlightRecorder::disarm() {}
 void FlightRecorder::set_model_health(
     std::shared_ptr<const ModelHealthMonitor>) {}
 void FlightRecorder::set_fleet(std::function<std::string()>) {}
+void FlightRecorder::set_incidents(std::function<std::string()>) {}
 bool FlightRecorder::armed() const { return false; }
 void FlightRecorder::note_interval(std::span<const double>, std::uint64_t,
                                    bool) {}
@@ -172,6 +174,7 @@ void FlightRecorder::disarm() {
   journal_.reset();
   model_health_.reset();
   fleet_ = nullptr;
+  incidents_ = nullptr;
 }
 
 void FlightRecorder::set_model_health(
@@ -183,6 +186,11 @@ void FlightRecorder::set_model_health(
 void FlightRecorder::set_fleet(std::function<std::string()> provider) {
   std::lock_guard<std::mutex> lk(mu_);
   fleet_ = std::move(provider);
+}
+
+void FlightRecorder::set_incidents(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lk(mu_);
+  incidents_ = std::move(provider);
 }
 
 bool FlightRecorder::armed() const {
@@ -229,6 +237,7 @@ std::string FlightRecorder::render_locked(const std::string& reason) const {
   os << "reason " << reason << "\n";
   os << "pid " << ::getpid() << "\n";
   os << "wall_time_s " << std::time(nullptr) << "\n";
+  os << build_info_text("build.");
   os << "== metrics ==\n" << prometheus_text();
   std::size_t tail = 0;
   std::vector<DecisionRecord> records;
@@ -247,6 +256,9 @@ std::string FlightRecorder::render_locked(const std::string& reason) const {
   }
   if (fleet_) {
     os << "== fleet ==\n" << fleet_() << "\n";
+  }
+  if (incidents_) {
+    os << "== incidents ==\n" << incidents_();
   }
   const bool alarm_row = have_alarm_row_;
   if (alarm_row || have_row_) {

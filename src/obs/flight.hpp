@@ -78,6 +78,11 @@ class FlightRecorder {
   /// in the black box. Cleared by disarm().
   void set_fleet(std::function<std::string()> provider);
 
+  /// Attach (or detach with an empty function) an incident-summary provider
+  /// (IncidentStore::dump_section): dumps then carry a `== incidents ==`
+  /// section listing the committed `.mhmi` bundles. Cleared by disarm().
+  void set_incidents(std::function<std::string()> provider);
+
   /// Per-interval hook (detector): remembers the raw row, refreshes the
   /// crash snapshot and — for alarms — writes a rate-limited dump. No-op
   /// while unarmed.
@@ -103,6 +108,7 @@ class FlightRecorder {
   std::shared_ptr<const DecisionJournal> journal_;
   std::shared_ptr<const ModelHealthMonitor> model_health_;
   std::function<std::string()> fleet_;
+  std::function<std::string()> incidents_;
   std::vector<double> last_row_;
   std::uint64_t last_interval_ = 0;
   bool have_row_ = false;

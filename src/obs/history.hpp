@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mhm::obs {
+
+/// RRD-style multi-resolution score history.
+///
+/// One ScoreHistory rides on each scored stream and retains "what did the
+/// last N hyperperiods look like" at a fixed memory cost: a raw ring of the
+/// most recent intervals plus coarser tiers where every `fold` finer
+/// entries collapse into one min/mean/max bin. Appends are O(tiers)
+/// worst-case (amortized O(1)); nothing ever allocates after construction,
+/// so the fleet preset can afford one per session inside the 64 KB budget.
+///
+/// Like the P² sketches, the class is a pure primitive — it touches no
+/// process-global state, so it stays fully functional under
+/// MHM_OBS_DISABLE; callers gate the append on obs::enabled().
+
+/// One raw interval observation (resolution 0).
+struct HistorySample {
+  std::uint64_t interval = 0;
+  double score = 0.0;   ///< log10 Pr(M') from the verdict.
+  double spe = 0.0;     ///< PCA squared prediction error.
+  bool alarm = false;
+  std::uint8_t status = 0;  ///< ModelHealthStatus at the interval (0=OK).
+  std::uint64_t model_version = 0;
+};
+
+/// One folded bin at resolution >= 1: `count` finer entries collapsed.
+struct HistoryBin {
+  std::uint64_t first_interval = 0;
+  std::uint64_t last_interval = 0;
+  std::uint32_t count = 0;
+  std::uint32_t alarms = 0;
+  std::uint8_t worst_status = 0;
+  double score_min = 0.0;
+  double score_mean = 0.0;
+  double score_max = 0.0;
+  double spe_min = 0.0;
+  double spe_mean = 0.0;
+  double spe_max = 0.0;
+};
+
+struct HistoryOptions {
+  std::size_t raw_capacity = 256;  ///< Resolution-0 ring length.
+  std::size_t bin_capacity = 128;  ///< Ring length of each folded tier.
+  std::size_t fold = 8;            ///< Finer entries per coarser bin.
+  std::size_t tiers = 2;           ///< Folded tiers beyond the raw ring.
+};
+
+class ScoreHistory {
+ public:
+  explicit ScoreHistory(const HistoryOptions& options = HistoryOptions{});
+
+  /// Append one interval. Folds cascade: every `fold` raw samples commit a
+  /// tier-1 bin, every `fold` tier-1 bins commit a tier-2 bin, and so on.
+  void append(const HistorySample& sample);
+
+  /// Raw samples, oldest first.
+  std::vector<HistorySample> raw_snapshot() const;
+  /// Bins of folded tier `tier` (1-based: tier 1 spans fold intervals per
+  /// bin, tier 2 spans fold² ...), oldest first. Empty for out-of-range.
+  std::vector<HistoryBin> tier_snapshot(std::size_t tier) const;
+
+  std::size_t tiers() const { return tiers_.size(); }
+  std::size_t fold() const { return options_.fold; }
+  /// Intervals spanned by one bin at resolution `res` (fold^res).
+  std::uint64_t span_at(std::size_t res) const;
+  std::uint64_t total_appended() const;
+  /// Fixed resident footprint of the rings (excludes sizeof(*this)).
+  std::size_t memory_bytes() const;
+
+  const HistoryOptions& options() const { return options_; }
+
+ private:
+  struct Tier {
+    std::vector<HistoryBin> ring;
+    std::size_t head = 0;   ///< Next write slot.
+    std::size_t size = 0;
+    HistoryBin acc;         ///< Partial bin accumulating finer entries.
+    std::uint32_t acc_fill = 0;
+  };
+
+  /// Feed one committed finer bin into tier `t`'s accumulator; commits and
+  /// cascades when the accumulator reaches `fold`.
+  void feed_tier(std::size_t t, const HistoryBin& fine);
+
+  HistoryOptions options_;
+  mutable std::mutex mu_;
+  std::vector<HistorySample> raw_;
+  std::size_t raw_head_ = 0;
+  std::size_t raw_size_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<Tier> tiers_;
+};
+
+/// JSON object for the /history route: `series` selects which columns are
+/// rendered ("score", "spe", "alarm", "status" or "all"), `res` the
+/// resolution (0 = raw, 1.. = folded tiers), `from` drops entries whose
+/// newest interval predates it (0 keeps everything — a `from` beyond the
+/// ring simply yields an empty samples array, not an error). Scores/SPE
+/// render as plain decimals with enough digits for plotting; the bundle
+/// format (.mhmi) carries the hexfloat truth.
+std::string history_json(const ScoreHistory& history, const std::string& series,
+                         std::size_t res, std::uint64_t from = 0);
+
+}  // namespace mhm::obs

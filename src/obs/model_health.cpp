@@ -318,8 +318,11 @@ ModelHealthMonitor::ModelHealthMonitor(const std::vector<double>&,
                                        std::vector<double>,
                                        const ModelHealthOptions&) {}
 ModelHealthMonitor::~ModelHealthMonitor() = default;
-void ModelHealthMonitor::observe(double, double, std::size_t, bool,
-                                 std::uint64_t, std::span<const double>) {}
+ModelHealthStatus ModelHealthMonitor::observe(double, double, std::size_t,
+                                              bool, std::uint64_t,
+                                              std::span<const double>) {
+  return ModelHealthStatus::kOk;
+}
 ModelHealthStatus ModelHealthMonitor::status() const {
   return ModelHealthStatus::kOk;
 }
@@ -464,11 +467,11 @@ ModelHealthMonitor::ModelHealthMonitor(
 
 ModelHealthMonitor::~ModelHealthMonitor() = default;
 
-void ModelHealthMonitor::observe(double log10_density, double spe,
-                                 std::size_t pattern, bool alarm,
-                                 std::uint64_t interval_index,
-                                 std::span<const double> raw) {
-  if (!enabled()) return;
+ModelHealthStatus ModelHealthMonitor::observe(double log10_density, double spe,
+                                              std::size_t pattern, bool alarm,
+                                              std::uint64_t interval_index,
+                                              std::span<const double> raw) {
+  if (!enabled()) return ModelHealthStatus::kOk;
   Impl& im = *impl_;
   std::lock_guard<std::mutex> lk(im.mu);
 
@@ -552,6 +555,7 @@ void ModelHealthMonitor::observe(double log10_density, double spe,
   im.g_q50.set(im.q50.value());
   im.g_q95.set(im.q95.value());
   im.g_spe95.set(im.spe_q95.value());
+  return im.current;
 }
 
 ModelHealthStatus ModelHealthMonitor::status() const {

@@ -236,11 +236,15 @@ class ModelHealthMonitor {
 
   /// Per-interval hook (detector, under obs::enabled()): the score and SPE
   /// are the ones analyze() already computed — the monitor never re-scores.
-  /// Thread-safe; state is order-dependent under parallel scoring but, like
-  /// every obs metric, never feeds back into detection.
-  void observe(double log10_density, double spe, std::size_t pattern,
-               bool alarm, std::uint64_t interval_index,
-               std::span<const double> raw);
+  /// Returns the status *after* this observation, so callers feeding the
+  /// score history and the incident recorder see transitions without a
+  /// second lock acquisition. Thread-safe; state is order-dependent under
+  /// parallel scoring but, like every obs metric, never feeds back into
+  /// detection.
+  ModelHealthStatus observe(double log10_density, double spe,
+                            std::size_t pattern, bool alarm,
+                            std::uint64_t interval_index,
+                            std::span<const double> raw);
 
   ModelHealthStatus status() const;
   ModelHealthSnapshot snapshot() const;

@@ -1,14 +1,18 @@
 #include "obs/server.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "obs/build_info.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
+#include "obs/history.hpp"
+#include "obs/incident.hpp"
 #include "obs/metrics.hpp"
 #include "obs/model_health.hpp"
 
@@ -39,6 +43,8 @@ std::uint16_t MonitorServer::port() const { return 0; }
 void MonitorServer::set_journal(std::shared_ptr<const DecisionJournal>) {}
 void MonitorServer::set_model_health(
     std::shared_ptr<const ModelHealthMonitor>) {}
+void MonitorServer::set_history(std::shared_ptr<const ScoreHistory>) {}
+void MonitorServer::set_incidents(std::shared_ptr<const IncidentStore>) {}
 void MonitorServer::set_fleet(std::function<std::string()>) {}
 MonitorServer& MonitorServer::instance() {
   static MonitorServer* server = new MonitorServer();
@@ -102,26 +108,60 @@ void send_response(int fd, int code, const char* status,
   send_all(fd, body.data(), body.size());
 }
 
-/// `tail` query parameter of "/journal?tail=N" (fallback when absent or
-/// malformed).
-std::size_t tail_param(const std::string& query, std::size_t fallback) {
+/// Value of `key` in a "a=1&b=2" query string. Returns false when absent;
+/// an empty value ("tail=") is *present* and comes back as "".
+bool query_param(const std::string& query, const char* key,
+                 std::string* value) {
+  const std::string prefix = std::string(key) + "=";
   std::size_t pos = 0;
   while (pos < query.size()) {
     std::size_t end = query.find('&', pos);
     if (end == std::string::npos) end = query.size();
-    const std::string pair = query.substr(pos, end - pos);
-    if (pair.rfind("tail=", 0) == 0) {
-      char* endp = nullptr;
-      const unsigned long long v =
-          std::strtoull(pair.c_str() + 5, &endp, 10);
-      if (endp != nullptr && *endp == '\0' && endp != pair.c_str() + 5) {
-        return static_cast<std::size_t>(v);
-      }
-      return fallback;
+    if (query.compare(pos, prefix.size(), prefix) == 0) {
+      *value = query.substr(pos + prefix.size(), end - pos - prefix.size());
+      return true;
     }
     pos = end + 1;
   }
-  return fallback;
+  return false;
+}
+
+/// Strict decimal u64: digits only, no sign, no trailing junk, no overflow.
+/// Query robustness contract: anything else is the caller's 400, never a
+/// silent clamp.
+bool parse_u64_strict(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;  // Overflow.
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+void send_json_error(int fd, const std::string& detail) {
+  send_response(fd, 400, "Bad Request", "application/json",
+                "{\"error\":\"" + detail + "\"}\n");
+}
+
+/// Parse an optional strict-u64 query parameter. Returns false (after
+/// answering 400) on a malformed value; leaves *out untouched when absent.
+bool u64_param_or_400(int fd, const std::string& query, const char* key,
+                      std::uint64_t* out) {
+  std::string raw;
+  if (!query_param(query, key, &raw)) return true;
+  std::uint64_t v = 0;
+  if (!parse_u64_strict(raw, &v)) {
+    send_json_error(fd, std::string(key) +
+                            " must be a non-negative decimal integer, got "
+                            "'" + raw + "'");
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -137,6 +177,8 @@ struct MonitorServer::Impl {
   std::mutex journal_mu;
   std::shared_ptr<const DecisionJournal> journal;
   std::shared_ptr<const ModelHealthMonitor> model_health;
+  std::shared_ptr<const ScoreHistory> history;
+  std::shared_ptr<const IncidentStore> incidents;
   std::function<std::string()> fleet;
 
   Counter& requests = Registry::instance().counter(
@@ -266,7 +308,10 @@ void MonitorServer::Impl::respond(int fd, const std::string& target) {
                     "no journal attached\n");
       return;
     }
-    const std::size_t tail = tail_param(query, 100);
+    std::uint64_t tail64 = 100;
+    if (!u64_param_or_400(fd, query, "tail", &tail64)) return;
+    const std::size_t tail = static_cast<std::size_t>(
+        std::min<std::uint64_t>(tail64, SIZE_MAX));
     const auto records = j->snapshot();
     const std::size_t first =
         records.size() > tail ? records.size() - tail : 0;
@@ -308,6 +353,82 @@ void MonitorServer::Impl::respond(int fd, const std::string& target) {
       return;
     }
     send_response(fd, 200, "OK", "application/json", provider() + "\n");
+    return;
+  }
+  if (path == "/history") {
+    std::shared_ptr<const ScoreHistory> h;
+    {
+      std::lock_guard<std::mutex> lk(journal_mu);
+      h = history;
+    }
+    if (h == nullptr) {
+      send_response(fd, 404, "Not Found", "text/plain",
+                    "no score history attached\n");
+      return;
+    }
+    std::string series = "all";
+    std::string series_raw;
+    if (query_param(query, "series", &series_raw)) {
+      if (series_raw != "score" && series_raw != "spe" &&
+          series_raw != "alarm" && series_raw != "status" &&
+          series_raw != "all") {
+        send_json_error(fd, "series must be one of score|spe|alarm|status|"
+                            "all, got '" + series_raw + "'");
+        return;
+      }
+      series = series_raw;
+    }
+    std::uint64_t res = 0;
+    if (!u64_param_or_400(fd, query, "res", &res)) return;
+    if (res > h->tiers()) {
+      send_json_error(fd, "res out of range: history has " +
+                              std::to_string(h->tiers()) +
+                              " folded tier(s), got " + std::to_string(res));
+      return;
+    }
+    std::uint64_t from = 0;
+    if (!u64_param_or_400(fd, query, "from", &from)) return;
+    send_response(fd, 200, "OK", "application/json",
+                  history_json(*h, series, static_cast<std::size_t>(res),
+                               from) +
+                      "\n");
+    return;
+  }
+  if (path == "/incidents" || path.rfind("/incidents/", 0) == 0) {
+    std::shared_ptr<const IncidentStore> store;
+    {
+      std::lock_guard<std::mutex> lk(journal_mu);
+      store = incidents;
+    }
+    if (store == nullptr) {
+      send_response(fd, 404, "Not Found", "text/plain",
+                    "no incident store attached\n");
+      return;
+    }
+    if (path == "/incidents") {
+      send_response(fd, 200, "OK", "application/json",
+                    store->json_list() + "\n");
+      return;
+    }
+    const std::string id_raw = path.substr(std::strlen("/incidents/"));
+    std::uint64_t id = 0;
+    if (!parse_u64_strict(id_raw, &id)) {
+      send_json_error(fd, "incident id must be a non-negative decimal "
+                          "integer, got '" + id_raw + "'");
+      return;
+    }
+    const auto body = store->json_one(id);
+    if (!body.has_value()) {
+      send_response(fd, 404, "Not Found", "text/plain",
+                    "no such incident\n");
+      return;
+    }
+    send_response(fd, 200, "OK", "application/json", *body + "\n");
+    return;
+  }
+  if (path == "/version") {
+    send_response(fd, 200, "OK", "application/json",
+                  build_info_json() + "\n");
     return;
   }
   if (path == "/flush") {
@@ -393,6 +514,18 @@ void MonitorServer::set_model_health(
     std::shared_ptr<const ModelHealthMonitor> monitor) {
   std::lock_guard<std::mutex> lk(impl_->journal_mu);
   impl_->model_health = std::move(monitor);
+}
+
+void MonitorServer::set_history(
+    std::shared_ptr<const ScoreHistory> history) {
+  std::lock_guard<std::mutex> lk(impl_->journal_mu);
+  impl_->history = std::move(history);
+}
+
+void MonitorServer::set_incidents(
+    std::shared_ptr<const IncidentStore> incidents) {
+  std::lock_guard<std::mutex> lk(impl_->journal_mu);
+  impl_->incidents = std::move(incidents);
 }
 
 void MonitorServer::set_fleet(std::function<std::string()> provider) {

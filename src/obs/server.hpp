@@ -10,7 +10,9 @@
 
 namespace mhm::obs {
 
+class IncidentStore;
 class ModelHealthMonitor;
+class ScoreHistory;
 
 /// Dependency-free HTTP/1.1 monitoring endpoint (POSIX sockets, loopback
 /// only, single accept-and-serve thread, bounded request size, one request
@@ -27,7 +29,18 @@ class ModelHealthMonitor;
 ///                     quantiles vs training, component occupancy
 ///   /fleet            fleet-aggregate JSON: device rollup, per-shard rates,
 ///                     top-K most anomalous streams (set_fleet provider)
+///   /history?series=&res=&from=
+///                     multi-resolution score history JSON (set_history):
+///                     series in {score,spe,alarm,status,all}, res the
+///                     resolution tier (0 = raw), from a minimum interval
+///   /incidents        incident-bundle summaries JSON (set_incidents)
+///   /incidents/<id>   one incident with its hexfloat verdict sequence
+///   /version          build info JSON: git describe, compiler, SIMD tier
 ///   /flush            force a flight-recorder dump, returns its path
+///
+/// Malformed or out-of-range query parameters (?tail=, ?res=, ?from=, a
+/// non-numeric incident id) answer 400 with a JSON error object — never a
+/// silent clamp, never a 500.
 ///
 /// Handling runs entirely on the server thread and only reads state behind
 /// the obs layer's own locks/atomics, so an attached scraper never touches
@@ -62,6 +75,14 @@ class MonitorServer {
   /// Model-health monitor served by /model; same attach/detach semantics
   /// as set_journal.
   void set_model_health(std::shared_ptr<const ModelHealthMonitor> monitor);
+
+  /// Score history served by /history; same attach/detach semantics as
+  /// set_journal.
+  void set_history(std::shared_ptr<const ScoreHistory> history);
+
+  /// Incident store served by /incidents[/id]; same attach/detach
+  /// semantics as set_journal.
+  void set_incidents(std::shared_ptr<const IncidentStore> incidents);
 
   /// JSON provider served verbatim by /fleet (the FleetAggregator's
   /// snapshot renderer); same attach/detach semantics as set_journal. The

@@ -180,6 +180,17 @@ void expect_same_snapshot(const FleetSnapshot& a, const FleetSnapshot& b) {
     EXPECT_EQ(a.shard_summaries[s].alarms, b.shard_summaries[s].alarms);
     // intervals_per_sec is wall clock: explicitly outside the contract.
   }
+  ASSERT_EQ(a.incident_groups.size(), b.incident_groups.size());
+  for (std::size_t g = 0; g < a.incident_groups.size(); ++g) {
+    EXPECT_EQ(a.incident_groups[g].first_interval,
+              b.incident_groups[g].first_interval);
+    EXPECT_EQ(a.incident_groups[g].last_interval,
+              b.incident_groups[g].last_interval);
+    EXPECT_EQ(a.incident_groups[g].devices, b.incident_groups[g].devices);
+    EXPECT_EQ(a.incident_groups[g].marks, b.incident_groups[g].marks);
+    EXPECT_EQ(a.incident_groups[g].archetypes,
+              b.incident_groups[g].archetypes);
+  }
 }
 
 // Same spec + seed must produce bit-identical aggregate state at any
@@ -274,6 +285,40 @@ TEST_F(FleetTest, JsonCarriesRollupAndTop) {
   EXPECT_NE(json.find("\"top\":[{\"device\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"archetype\":\"shellcode\""), std::string::npos)
       << json;
+}
+
+TEST_F(FleetTest, IncidentGroupsChainCoTemporalAlarmWaves) {
+  FleetRunner runner = make_runner(small_spec());
+  runner.run_all();
+  const FleetSnapshot snap = runner.aggregator().snapshot();
+
+  // The shellcode slice (~19 devices) triggers at the same interval, so its
+  // marks must chain into co-temporal groups rather than 19 singletons.
+  ASSERT_FALSE(snap.incident_groups.empty());
+  std::size_t devices = 0;
+  std::uint64_t marks = 0;
+  for (const IncidentGroup& g : snap.incident_groups) {
+    EXPECT_LE(g.first_interval, g.last_interval);
+    EXPECT_GE(g.devices, 1u);
+    EXPECT_GE(g.marks, g.devices);
+    ASSERT_FALSE(g.archetypes.empty());
+    devices += g.devices;
+    marks += g.marks;
+  }
+  EXPECT_GT(devices, 1u);
+  EXPECT_GE(marks, devices);
+  bool saw_shellcode = false;
+  for (const IncidentGroup& g : snap.incident_groups) {
+    for (const std::string& name : g.archetypes) {
+      if (name == "shellcode") saw_shellcode = true;
+    }
+  }
+  EXPECT_TRUE(saw_shellcode);
+
+  // And the JSON surface carries the groups for /fleet scrapers.
+  const std::string json = runner.json();
+  EXPECT_NE(json.find("\"incident_groups\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"marks\":"), std::string::npos) << json;
 }
 
 std::string get_path(std::uint16_t port, const std::string& path) {

@@ -22,10 +22,15 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "obs/build_info.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
+#include "obs/history.hpp"
+#include "obs/incident.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/model_health.hpp"
@@ -382,6 +387,184 @@ TEST_F(MonitorServerTest, SecondServerOnSamePortFailsCleanly) {
   opts.port = server_.port();
   EXPECT_FALSE(second.start(opts));
   EXPECT_FALSE(second.running());
+}
+
+TEST_F(MonitorServerTest, VersionServesBuildInfoJson) {
+  // /version needs no attachment: it is always live so fleet tooling can
+  // fingerprint a session before deciding which routes to scrape.
+  const std::string response = get_path(server_.port(), "/version");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"git\":"), std::string::npos);
+  EXPECT_NE(body.find("\"compiler\":"), std::string::npos);
+  EXPECT_NE(body.find("\"obs_disabled\":"), std::string::npos);
+}
+
+TEST_F(MonitorServerTest, HistoryServesMultiResolutionJson) {
+  // 404 until a history is attached.
+  EXPECT_NE(get_path(server_.port(), "/history").find("404"),
+            std::string::npos);
+
+  HistoryOptions opts;
+  opts.raw_capacity = 16;
+  opts.bin_capacity = 8;
+  opts.fold = 4;
+  opts.tiers = 1;
+  auto history = std::make_shared<ScoreHistory>(opts);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    HistorySample s;
+    s.interval = i;
+    s.score = -20.0 - static_cast<double>(i);
+    s.spe = 0.5;
+    s.alarm = i == 7;
+    s.model_version = 4;
+    history->append(s);
+  }
+  server_.set_history(history);
+
+  const std::string raw =
+      body_of(get_path(server_.port(), "/history?series=score&res=0"));
+  EXPECT_TRUE(JsonChecker(raw).valid()) << raw;
+  EXPECT_NE(raw.find("\"res\":0"), std::string::npos);
+  EXPECT_NE(raw.find("\"interval\":7"), std::string::npos);
+
+  const std::string folded =
+      body_of(get_path(server_.port(), "/history?series=all&res=1"));
+  EXPECT_TRUE(JsonChecker(folded).valid()) << folded;
+  EXPECT_NE(folded.find("\"score_min\":"), std::string::npos);
+
+  const std::string tail =
+      body_of(get_path(server_.port(), "/history?series=score&res=0&from=6"));
+  EXPECT_EQ(tail.find("\"interval\":5"), std::string::npos);
+  EXPECT_NE(tail.find("\"interval\":6"), std::string::npos);
+
+  // Detaching turns the route back into a 404.
+  server_.set_history(nullptr);
+  EXPECT_NE(get_path(server_.port(), "/history").find("404"),
+            std::string::npos);
+}
+
+TEST_F(MonitorServerTest, MalformedQueryParamsAnswer400JsonNever500) {
+  auto history = std::make_shared<ScoreHistory>(HistoryOptions{});
+  HistorySample s;
+  s.interval = 1;
+  s.score = -21.0;
+  history->append(s);
+  server_.set_history(history);
+  auto journal = std::make_shared<DecisionJournal>(8);
+  DecisionRecord rec;
+  rec.interval_index = 1;
+  journal->append_swap(rec);
+  server_.set_journal(journal);
+
+  const char* bad[] = {
+      "/history?series=bogus",  "/history?res=99",
+      "/history?res=abc",       "/history?from=abc",
+      "/history?from=-1",       "/journal?tail=abc",
+      "/journal?tail=-1",       "/journal?tail=",
+  };
+  for (const char* path : bad) {
+    const std::string response = get_path(server_.port(), path);
+    EXPECT_NE(response.find("400"), std::string::npos) << path << "\n"
+                                                       << response;
+    EXPECT_EQ(response.find("500"), std::string::npos) << path;
+    const std::string body = body_of(response);
+    EXPECT_TRUE(JsonChecker(body).valid()) << path << "\n" << body;
+    EXPECT_NE(body.find("\"error\":"), std::string::npos) << path;
+  }
+  server_.set_history(nullptr);
+  server_.set_journal(nullptr);
+}
+
+TEST_F(MonitorServerTest, IncidentsServesListAndDetail) {
+  // 404 until a store is attached.
+  EXPECT_NE(get_path(server_.port(), "/incidents").find("404"),
+            std::string::npos);
+
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "mhm_server_incidents";
+  ::mkdir(dir.c_str(), 0755);
+  IncidentStore::Options store_opts;
+  store_opts.dir = dir;
+  auto store = std::make_shared<IncidentStore>(store_opts);
+  IncidentOptions inc_opts;
+  inc_opts.pre = 1;
+  inc_opts.post = 1;
+  inc_opts.burst_count = 1;
+  inc_opts.burst_window = 4;
+  IncidentRecorder recorder(inc_opts, store);
+  const double row[2] = {1.0, 2.0};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    recorder.note(i, -30.0, 0.5, i == 1, 0, 3, -25.0, 0, row, {}, {});
+  }
+  ASSERT_EQ(store->total_committed(), 1u);
+  server_.set_incidents(store);
+
+  const std::string list = body_of(get_path(server_.port(), "/incidents"));
+  EXPECT_TRUE(JsonChecker(list).valid()) << list;
+  EXPECT_NE(list.find("\"total\":1"), std::string::npos);
+  EXPECT_NE(list.find("\"reason\":\"alarm_burst\""), std::string::npos);
+
+  const std::string one = body_of(get_path(server_.port(), "/incidents/1"));
+  EXPECT_TRUE(JsonChecker(one).valid()) << one;
+  EXPECT_NE(one.find("\"verdicts\":["), std::string::npos);
+  EXPECT_NE(one.find("\"score_hex\":"), std::string::npos);
+
+  // Non-numeric id is the caller's bug (400); a valid-but-unknown id is
+  // simply absent (404).
+  const std::string bad = get_path(server_.port(), "/incidents/abc");
+  EXPECT_NE(bad.find("400"), std::string::npos);
+  EXPECT_NE(body_of(bad).find("\"error\":"), std::string::npos);
+  EXPECT_NE(get_path(server_.port(), "/incidents/999").find("404"),
+            std::string::npos);
+
+  server_.set_incidents(nullptr);
+  EXPECT_NE(get_path(server_.port(), "/incidents").find("404"),
+            std::string::npos);
+}
+
+TEST_F(MonitorServerTest, ConcurrentHistoryAndIncidentScrapes) {
+  // Scrapers hammer /history and /incidents while the analysis side keeps
+  // appending and committing — the TSan build must see no races.
+  auto history = std::make_shared<ScoreHistory>(HistoryOptions{});
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "mhm_server_incidents_race";
+  ::mkdir(dir.c_str(), 0755);
+  IncidentStore::Options store_opts;
+  store_opts.dir = dir;
+  auto store = std::make_shared<IncidentStore>(store_opts);
+  IncidentOptions inc_opts;
+  inc_opts.pre = 1;
+  inc_opts.post = 1;
+  inc_opts.burst_count = 1;
+  inc_opts.burst_window = 2;
+  inc_opts.min_gap = 8;
+  IncidentRecorder recorder(inc_opts, store);
+  server_.set_history(history);
+  server_.set_incidents(store);
+
+  std::vector<std::thread> scrapers;
+  for (const char* path : {"/history?series=all&res=0", "/incidents",
+                           "/incidents/1"}) {
+    scrapers.emplace_back([this, path] {
+      for (int i = 0; i < 25; ++i) (void)get_path(server_.port(), path);
+    });
+  }
+  const double row[2] = {1.0, 2.0};
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    HistorySample s;
+    s.interval = i;
+    s.score = -20.0;
+    history->append(s);
+    recorder.note(i, -30.0, 0.5, i % 16 == 0, 0, 3, -25.0, 0, row, {}, {});
+  }
+  for (auto& t : scrapers) t.join();
+  EXPECT_GT(store->total_committed(), 0u);
+  EXPECT_EQ(history->total_appended(), 200u);
+  server_.set_history(nullptr);
+  server_.set_incidents(nullptr);
 }
 
 TEST(FlightRecorderTest, DumpWritesParseableFile) {

@@ -1,0 +1,131 @@
+#include "dashboard.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mhm::tool {
+
+std::size_t find_key(const std::string& body, const std::string& key,
+                     std::size_t from) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = body.find(needle, from);
+  return pos == std::string::npos ? std::string::npos : pos + needle.size();
+}
+
+double num_field(const std::string& body, const std::string& key,
+                 std::size_t from, double fallback) {
+  const std::size_t pos = find_key(body, key, from);
+  if (pos == std::string::npos || pos >= body.size()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(body.c_str() + pos, &end);
+  return end == body.c_str() + pos ? fallback : v;
+}
+
+std::string str_field(const std::string& body, const std::string& key,
+                      std::size_t from) {
+  const std::size_t pos = find_key(body, key, from);
+  if (pos == std::string::npos || pos >= body.size() || body[pos] != '"') {
+    return "";
+  }
+  const std::size_t end = body.find('"', pos + 1);
+  return end == std::string::npos ? "" : body.substr(pos + 1, end - pos - 1);
+}
+
+std::vector<double> num_array(const std::string& body, const std::string& key,
+                              std::size_t from) {
+  std::vector<double> out;
+  std::size_t pos = find_key(body, key, from);
+  if (pos == std::string::npos || pos >= body.size() || body[pos] != '[') {
+    return out;
+  }
+  ++pos;
+  while (pos < body.size() && body[pos] != ']') {
+    char* end = nullptr;
+    const double v = std::strtod(body.c_str() + pos, &end);
+    if (end == body.c_str() + pos) break;
+    out.push_back(v);
+    pos = static_cast<std::size_t>(end - body.c_str());
+    if (pos < body.size() && body[pos] == ',') ++pos;
+  }
+  return out;
+}
+
+std::string fetch_body(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  struct timeval tv;
+  tv.tv_sec = 2;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (response.rfind("HTTP/1.1 200", 0) != 0) return "";
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+std::string occupancy_bar(double share, std::size_t width) {
+  const auto filled = static_cast<std::size_t>(
+      std::lround(std::max(0.0, std::min(1.0, share)) *
+                  static_cast<double>(width)));
+  std::string bar;
+  for (std::size_t i = 0; i < width; ++i) bar += i < filled ? "#" : ".";
+  return bar;
+}
+
+std::string incident_ticker(const std::string& incidents_body) {
+  if (incidents_body.empty()) return "";
+  const double total = num_field(incidents_body, "total", 0, -1.0);
+  if (total < 0.0) return "";
+  // The list is oldest-first; the newest bundle's fields are the last
+  // occurrences in the document.
+  std::size_t last = std::string::npos;
+  for (std::size_t pos = find_key(incidents_body, "id");
+       pos != std::string::npos;
+       pos = find_key(incidents_body, "id", pos)) {
+    last = pos;
+  }
+  char line[256];
+  if (last == std::string::npos) {
+    std::snprintf(line, sizeof line, "incidents  %0.f committed\n", total);
+    return line;
+  }
+  // `last` sits just past the final "id": — back up so the extractors see
+  // the whole final summary object.
+  const std::size_t anchor = last >= 8 ? last - 8 : 0;
+  std::snprintf(
+      line, sizeof line,
+      "incidents  %.0f committed | latest #%.0f %s trigger=%.0f model=%.0f\n",
+      total, num_field(incidents_body, "id", anchor),
+      str_field(incidents_body, "reason", anchor).c_str(),
+      num_field(incidents_body, "trigger_interval", anchor),
+      num_field(incidents_body, "model_version", anchor));
+  return line;
+}
+
+}  // namespace mhm::tool

@@ -1,0 +1,44 @@
+#pragma once
+
+// Shared terminal-dashboard plumbing for mhm_tool's `watch` and
+// `fleet --watch` views: a loopback HTTP fetch, shape-driven extractors for
+// the fixed JSON documents the monitor endpoint serves
+// (docs/FILE_FORMATS.md), and the small render helpers both dashboards
+// draw with. Header-only consumers link dashboard.cpp into mhm_tool.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mhm::tool {
+
+/// Position just past `"key":` in `body`, or npos.
+std::size_t find_key(const std::string& body, const std::string& key,
+                     std::size_t from = 0);
+
+/// Numeric field value, `fallback` when absent or non-numeric.
+double num_field(const std::string& body, const std::string& key,
+                 std::size_t from = 0, double fallback = 0.0);
+
+/// String field value, "" when absent.
+std::string str_field(const std::string& body, const std::string& key,
+                      std::size_t from = 0);
+
+/// Flat numeric array field ("key":[1,2,...]), empty when absent.
+std::vector<double> num_array(const std::string& body, const std::string& key,
+                              std::size_t from = 0);
+
+/// Blocking loopback GET; returns the response body, or "" on any failure
+/// (connect error, timeout, non-200).
+std::string fetch_body(std::uint16_t port, const std::string& path);
+
+/// `#####....` bar of `share` (clamped to [0,1]) over `width` columns.
+std::string occupancy_bar(double share, std::size_t width);
+
+/// One-line incident ticker from an /incidents JSON body: committed total
+/// plus the newest bundle's id/reason/trigger. Returns "" when `body` is
+/// empty or carries no incidents — callers skip the line entirely.
+std::string incident_ticker(const std::string& incidents_body);
+
+}  // namespace mhm::tool

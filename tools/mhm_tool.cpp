@@ -63,12 +63,27 @@
 //
 //   mhm_tool serve   [--port P] [--scenarios N] [--attack name]
 //                    [--trigger-ms T] [--duration-ms D] [--seed X]
-//                    [--flight-dir DIR] [--linger-ms L]
-//       Train a fast-scale detector, arm the flight recorder, start the
-//       HTTP monitoring endpoint on 127.0.0.1:P (0 = ephemeral, printed
-//       at startup) and replay N attack scenarios against it so /metrics,
-//       /status, /journal and /trace serve live data. --linger-ms keeps
-//       the endpoint up after the replays for external scrapers.
+//                    [--flight-dir DIR] [--linger-ms L] [--registry DIR]
+//                    [--incident-gap N]
+//       Train a fast-scale detector, arm the flight recorder and the
+//       incident store (bundles land in --flight-dir), start the HTTP
+//       monitoring endpoint on 127.0.0.1:P (0 = ephemeral, printed at
+//       startup) and replay N attack scenarios against it so /metrics,
+//       /status, /journal, /trace, /history and /incidents serve live
+//       data. --registry saves the trained model there first and stamps
+//       its version on every verdict and bundle (the handle `incidents
+//       replay` needs); --incident-gap shrinks the per-stream rate limit;
+//       --linger-ms keeps the endpoint up after the replays.
+//
+//   mhm_tool incidents list --dir <dir>
+//   mhm_tool incidents show --in <file.mhmi>
+//   mhm_tool incidents replay --in <file.mhmi> --registry <dir>
+//       Black-box forensics on committed `.mhmi` bundles: scan a
+//       directory, pretty-print one bundle (exit 1 if truncated), or
+//       re-score the captured pre/post window through the bundled model
+//       version from the registry and assert the verdicts reproduce
+//       bit-identically (hexfloat compare; exit 0 only on a perfect
+//       match).
 //
 //   mhm_tool fleet   [--spec fleet.ini] [--devices N] [--shards S]
 //                    [--intervals I] [--seed X] [--top-k K] [--attack name]
@@ -117,7 +132,9 @@
 #include "common/ascii_plot.hpp"
 #include "common/csv.hpp"
 #include "core/model_io.hpp"
+#include "core/snapshot.hpp"
 #include "core/trace_io.hpp"
+#include "dashboard.hpp"
 #include "engine/engine.hpp"
 #include "engine/source.hpp"
 #include "fleet/runner.hpp"
@@ -125,6 +142,7 @@
 #include "hw/memometer.hpp"
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
+#include "obs/incident.hpp"
 #include "obs/model_health.hpp"
 #include "obs/server.hpp"
 #include "pipeline/experiment.hpp"
@@ -132,6 +150,7 @@
 namespace {
 
 using namespace mhm;
+using namespace mhm::tool;  // Shared dashboard helpers (tools/dashboard.hpp).
 
 /// Tiny flag parser: --key value pairs after the subcommand.
 class Args {
@@ -621,14 +640,42 @@ int cmd_serve(const Args& args) {
   pipeline::TrainedPipeline pipe = pipeline::train_pipeline(
       cfg, pipeline::fast_test_plan(), pipeline::fast_test_detector_options());
 
+  // --registry DIR versions the freshly trained model and re-hangs the same
+  // observation stack on a snapshot carrying that version stamp — every
+  // verdict (and incident bundle) then names a registry version that
+  // `incidents replay` can reload for bit-identical re-scoring.
+  std::optional<AnomalyDetector> versioned;
+  AnomalyDetector* det = pipe.detector.get();
+  if (const auto registry_dir = args.get_optional("registry")) {
+    ModelRegistry registry(*registry_dir);
+    const std::uint64_t version =
+        registry.save(DetectorModel::from_detector(pipe.det()));
+    const std::shared_ptr<const ModelSnapshot> base = pipe.det().snapshot();
+    versioned.emplace(AnomalyDetector::from_snapshot(
+        ModelSnapshot::assemble(base->pca, base->gmm, base->calibrator,
+                                base->primary.p, base->baseline, version)));
+    det = &*versioned;
+    std::printf("model registered as version %llu in %s\n",
+                static_cast<unsigned long long>(version),
+                registry.directory().c_str());
+    std::fflush(stdout);
+  }
+
   obs::FlightRecorder::Options fr_opts;
   fr_opts.dir = args.get("flight-dir", ".");
-  if (!obs::FlightRecorder::instance().arm(fr_opts,
-                                           pipe.detector->journal_ptr())) {
+  if (!obs::FlightRecorder::instance().arm(fr_opts, det->journal_ptr())) {
     std::fprintf(stderr, "serve: cannot arm flight recorder in %s\n",
                  fr_opts.dir.c_str());
     return 1;
   }
+
+  // Incident black box: bundles land next to the flight dumps.
+  obs::IncidentStore::Options inc_opts;
+  inc_opts.dir = fr_opts.dir;
+  auto incidents = std::make_shared<obs::IncidentStore>(inc_opts);
+  obs::IncidentOptions inc_trigger;
+  inc_trigger.min_gap = args.get_u64("incident-gap", inc_trigger.min_gap);
+  det->attach_incidents(inc_trigger, incidents);
 
   obs::MonitorServer server;
   obs::MonitorServer::Options srv_opts;
@@ -639,12 +686,15 @@ int cmd_serve(const Args& args) {
     obs::FlightRecorder::instance().disarm();
     return 1;
   }
-  server.set_journal(pipe.detector->journal_ptr());
-  server.set_model_health(pipe.detector->model_health());
-  obs::FlightRecorder::instance().set_model_health(
-      pipe.detector->model_health());
+  server.set_journal(det->journal_ptr());
+  server.set_model_health(det->model_health());
+  server.set_history(det->score_history());
+  server.set_incidents(incidents);
+  obs::FlightRecorder::instance().set_model_health(det->model_health());
+  obs::FlightRecorder::instance().set_incidents(
+      [incidents] { return incidents->dump_section(); });
   std::printf("serving http://127.0.0.1:%u (metrics, healthz, status, "
-              "journal, trace, model, flush)\n",
+              "journal, trace, model, history, incidents, version, flush)\n",
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
 
@@ -663,7 +713,7 @@ int cmd_serve(const Args& args) {
       attack = attacks::make_scenario(attack_name);
     }
     pipeline::ScenarioRun run = pipeline::run_scenario(
-        cfg, attack.get(), trigger, duration, &pipe.det(), seed + s);
+        cfg, attack.get(), trigger, duration, det, seed + s);
     for (const auto& v : run.verdicts) alarms += v.anomalous;
     std::printf("replay %llu/%llu: '%s', %zu intervals, %zu alarms so far\n",
                 static_cast<unsigned long long>(s + 1),
@@ -671,7 +721,9 @@ int cmd_serve(const Args& args) {
                 run.scenario.c_str(), run.verdicts.size(), alarms);
     std::fflush(stdout);
   }
-  if (const auto health = pipe.detector->model_health()) {
+  std::printf("incidents: %llu committed\n",
+              static_cast<unsigned long long>(incidents->total_committed()));
+  if (const auto health = det->model_health()) {
     const obs::ModelHealthSnapshot snap = health->snapshot();
     std::printf("model health: %s (alarm rate %.4f, expected p %.4f)\n",
                 obs::to_string(snap.status), snap.alarm_rate, snap.expected_p);
@@ -808,103 +860,215 @@ int cmd_dump(const Args& args) {
   return saw_end ? 0 : 1;
 }
 
+// --- incidents: black-box bundle forensics ---------------------------------
+//
+// `incidents` works on the `.mhmi` bundles the incident engine commits
+// (src/obs/incident, docs/FILE_FORMATS.md): `list` scans a directory,
+// `show` pretty-prints one bundle, `replay` re-scores its captured rows
+// through the bundled model version from a registry and asserts the
+// verdicts reproduce bit-identically (hexfloat compare).
+
+std::size_t bundle_alarms(const obs::Incident& incident) {
+  std::size_t alarms = 0;
+  for (const auto& e : incident.window) alarms += e.alarm;
+  return alarms;
+}
+
+int cmd_incidents_list(const Args& args) {
+  const std::string dir = args.get("dir", ".");
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".mhmi") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "incidents list: cannot read %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::sort(paths.begin(), paths.end());
+  std::printf("%4s  %-17s %9s %6s %7s %6s %5s  %s\n", "id", "reason",
+              "trigger", "model", "entries", "alarms", "trunc", "path");
+  std::size_t shown = 0;
+  for (const auto& path : paths) {
+    obs::IncidentBundle bundle;
+    std::string error;
+    if (!obs::parse_incident_file(path, &bundle, &error)) {
+      std::fprintf(stderr, "incidents list: skipping %s: %s\n", path.c_str(),
+                   error.c_str());
+      continue;
+    }
+    const obs::Incident& inc = bundle.incident;
+    std::printf("%4llu  %-17s %9llu %6llu %7zu %6zu %5s  %s\n",
+                static_cast<unsigned long long>(inc.id), inc.reason.c_str(),
+                static_cast<unsigned long long>(inc.trigger_interval),
+                static_cast<unsigned long long>(inc.model_version),
+                inc.window.size(), bundle_alarms(inc),
+                bundle.truncated ? "YES" : "no", path.c_str());
+    ++shown;
+  }
+  std::printf("%zu bundle(s) in %s\n", shown, dir.c_str());
+  return 0;
+}
+
+int cmd_incidents_show(const Args& args) {
+  std::string in_path;
+  if (!args.require("in", &in_path)) {
+    std::fprintf(stderr, "incidents show: --in <file.mhmi> is required\n");
+    return 1;
+  }
+  obs::IncidentBundle bundle;
+  std::string error;
+  if (!obs::parse_incident_file(in_path, &bundle, &error)) {
+    std::fprintf(stderr, "incidents show: %s\n", error.c_str());
+    return 1;
+  }
+  const obs::Incident& inc = bundle.incident;
+  std::printf("incident bundle: %s\n", in_path.c_str());
+  std::printf("  id           %llu\n",
+              static_cast<unsigned long long>(inc.id));
+  std::printf("  reason       %s%s%s\n", inc.reason.c_str(),
+              inc.detail.empty() ? "" : " ", inc.detail.c_str());
+  std::printf("  trigger      interval %llu\n",
+              static_cast<unsigned long long>(inc.trigger_interval));
+  std::printf("  model        version %llu, threshold %.4f (log10)\n",
+              static_cast<unsigned long long>(inc.model_version),
+              inc.threshold);
+  std::printf("  window       %zu pre + trigger + %zu post (%zu captured, "
+              "%zu alarms), %zu cells\n",
+              inc.pre, inc.post, inc.window.size(), bundle_alarms(inc),
+              inc.cells);
+  for (const auto& b : bundle.build_info) std::printf("  %s\n", b.c_str());
+  if (!inc.top_cells.empty()) {
+    std::printf("  top |z| cell deltas vs training baseline:\n");
+    for (const auto& c : inc.top_cells) {
+      std::printf("    cell %4zu: observed %12.0f, expected %12.1f, "
+                  "z %+8.1f\n",
+                  c.cell, c.observed, c.expected, c.z);
+    }
+  }
+  std::printf("  %-9s %12s %12s %5s %7s  %s\n", "interval", "score", "spe",
+              "alarm", "nearest", "row");
+  for (const auto& e : inc.window) {
+    std::printf("  %9llu %12.4f %12.4g %5s %7zu  %s\n",
+                static_cast<unsigned long long>(e.interval), e.score, e.spe,
+                e.alarm ? "YES" : "no", e.nearest_pattern,
+                e.row.empty() ? "-" : "captured");
+  }
+  if (bundle.truncated) {
+    std::fprintf(stderr, "incidents show: %s is TRUNCATED (missing "
+                         "'== end ==' — crash mid-write)\n",
+                 in_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_incidents_replay(const Args& args) {
+  std::string in_path;
+  std::string registry_dir;
+  if (!args.require("in", &in_path) ||
+      !args.require("registry", &registry_dir)) {
+    std::fprintf(stderr, "incidents replay: --in <file.mhmi> and "
+                         "--registry <dir> are required\n");
+    return 1;
+  }
+  obs::IncidentBundle bundle;
+  std::string error;
+  if (!obs::parse_incident_file(in_path, &bundle, &error)) {
+    std::fprintf(stderr, "incidents replay: %s\n", error.c_str());
+    return 1;
+  }
+  if (bundle.truncated) {
+    std::fprintf(stderr, "incidents replay: %s is truncated — the verdict "
+                         "window is incomplete, refusing to assert on it\n",
+                 in_path.c_str());
+    return 1;
+  }
+  const obs::Incident& inc = bundle.incident;
+  if (inc.model_version == 0) {
+    std::fprintf(stderr, "incidents replay: bundle carries no registry "
+                         "version (serve with --registry to stamp one)\n");
+    return 1;
+  }
+  const ModelRegistry registry(registry_dir);
+  const std::shared_ptr<const ModelSnapshot> snapshot =
+      registry.load_snapshot(inc.model_version);
+  if (inc.cells != snapshot->pca.input_dim()) {
+    std::fprintf(stderr, "incidents replay: bundle has %zu cells but model "
+                         "version %llu expects %zu\n",
+                 inc.cells, static_cast<unsigned long long>(inc.model_version),
+                 snapshot->pca.input_dim());
+    return 1;
+  }
+
+  // Bit-identity contract: the bundle stores score/SPE as hexfloat, so the
+  // comparison is on exact bit patterns, never a tolerance.
+  ScoreScratch scratch;
+  std::size_t checked = 0;
+  std::size_t mismatches = 0;
+  for (const auto& e : inc.window) {
+    if (e.row.empty()) continue;
+    const Verdict v = score_snapshot(*snapshot, e.row, e.interval, scratch);
+    char got_score[48], want_score[48], got_spe[48], want_spe[48];
+    std::snprintf(got_score, sizeof got_score, "%a", v.log10_density);
+    std::snprintf(want_score, sizeof want_score, "%a", e.score);
+    std::snprintf(got_spe, sizeof got_spe, "%a", v.spe);
+    std::snprintf(want_spe, sizeof want_spe, "%a", e.spe);
+    const bool ok = std::strcmp(got_score, want_score) == 0 &&
+                    std::strcmp(got_spe, want_spe) == 0 &&
+                    v.anomalous == e.alarm &&
+                    v.nearest_pattern == e.nearest_pattern;
+    if (!ok) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "  interval %llu MISMATCH: score %s vs %s, spe %s vs %s, "
+                   "alarm %d vs %d, nearest %zu vs %zu\n",
+                   static_cast<unsigned long long>(e.interval), got_score,
+                   want_score, got_spe, want_spe, static_cast<int>(v.anomalous),
+                   static_cast<int>(e.alarm), v.nearest_pattern,
+                   e.nearest_pattern);
+    }
+    ++checked;
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "incidents replay: no heat-map rows captured in %s "
+                         "(recorded with capture_rows off?)\n",
+                 in_path.c_str());
+    return 1;
+  }
+  std::printf("replayed %zu of %zu intervals through model version %llu: "
+              "%s\n",
+              checked, inc.window.size(),
+              static_cast<unsigned long long>(inc.model_version),
+              mismatches == 0
+                  ? "bit-identical"
+                  : (std::to_string(mismatches) + " MISMATCHES").c_str());
+  return mismatches == 0 ? 0 : 1;
+}
+
+int cmd_incidents(const std::string& action, const Args& args) {
+  if (action == "list") return cmd_incidents_list(args);
+  if (action == "show") return cmd_incidents_show(args);
+  if (action == "replay") return cmd_incidents_replay(args);
+  std::fprintf(stderr, "incidents: unknown action '%s' (list|show|replay)\n",
+               action.c_str());
+  return 1;
+}
+
 // --- watch: live model-health dashboard ------------------------------------
 //
-// `watch` is a pure HTTP client: it polls a serving process's /model route
-// over loopback and renders a terminal dashboard — score sparkline against
-// the training quantiles, component occupancy bars, and the latest heat-map
-// row. The field extractors below lean on the fixed shape of the /model
-// document (docs/FILE_FORMATS.md) instead of pulling in a JSON library.
+// `watch` is a pure HTTP client: it polls a serving process's /model and
+// /incidents routes over loopback and renders a terminal dashboard — score
+// sparkline against the training quantiles, component occupancy bars, the
+// latest heat-map row, and an incident ticker. The field extractors and the
+// loopback fetch live in tools/dashboard.{hpp,cpp}, shared with
+// `fleet --watch`.
 
-/// Position just past `"key":`, or npos.
-std::size_t find_key(const std::string& body, const std::string& key,
-                     std::size_t from = 0) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t pos = body.find(needle, from);
-  return pos == std::string::npos ? std::string::npos : pos + needle.size();
-}
-
-double num_field(const std::string& body, const std::string& key,
-                 std::size_t from = 0, double fallback = 0.0) {
-  const std::size_t pos = find_key(body, key, from);
-  if (pos == std::string::npos || pos >= body.size()) return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(body.c_str() + pos, &end);
-  return end == body.c_str() + pos ? fallback : v;
-}
-
-std::string str_field(const std::string& body, const std::string& key,
-                      std::size_t from = 0) {
-  const std::size_t pos = find_key(body, key, from);
-  if (pos == std::string::npos || pos >= body.size() || body[pos] != '"') {
-    return "";
-  }
-  const std::size_t end = body.find('"', pos + 1);
-  return end == std::string::npos ? "" : body.substr(pos + 1, end - pos - 1);
-}
-
-std::vector<double> num_array(const std::string& body, const std::string& key,
-                              std::size_t from = 0) {
-  std::vector<double> out;
-  std::size_t pos = find_key(body, key, from);
-  if (pos == std::string::npos || pos >= body.size() || body[pos] != '[') {
-    return out;
-  }
-  ++pos;
-  while (pos < body.size() && body[pos] != ']') {
-    char* end = nullptr;
-    const double v = std::strtod(body.c_str() + pos, &end);
-    if (end == body.c_str() + pos) break;
-    out.push_back(v);
-    pos = static_cast<std::size_t>(end - body.c_str());
-    if (pos < body.size() && body[pos] == ',') ++pos;
-  }
-  return out;
-}
-
-/// Blocking loopback GET; returns the response body, or "" on any failure.
-std::string fetch_body(std::uint16_t port, const std::string& path) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return "";
-  struct timeval tv;
-  tv.tv_sec = 2;
-  tv.tv_usec = 0;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    return "";
-  }
-  const std::string request = "GET " + path +
-                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
-                              "Connection: close\r\n\r\n";
-  (void)!::write(fd, request.data(), request.size());
-  std::string response;
-  char chunk[4096];
-  ssize_t n = 0;
-  while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
-    response.append(chunk, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-  if (response.rfind("HTTP/1.1 200", 0) != 0) return "";
-  const std::size_t split = response.find("\r\n\r\n");
-  return split == std::string::npos ? "" : response.substr(split + 4);
-}
-
-std::string occupancy_bar(double share, std::size_t width) {
-  const auto filled = static_cast<std::size_t>(
-      std::lround(std::max(0.0, std::min(1.0, share)) *
-                  static_cast<double>(width)));
-  std::string bar;
-  for (std::size_t i = 0; i < width; ++i) bar += i < filled ? "#" : ".";
-  return bar;
-}
-
-void render_dashboard(const std::string& body, std::uint16_t port,
+void render_dashboard(const std::string& body,
+                      const std::string& incidents_body, std::uint16_t port,
                       std::uint64_t poll) {
   std::ostringstream os;
   os << "mhm model health  http://127.0.0.1:" << port << "/model  poll "
@@ -947,6 +1111,7 @@ void render_dashboard(const std::string& body, std::uint16_t port,
                 num_field(body, "page_hinkley_lambda", drift_pos),
                 num_field(body, "q95", find_key(body, "spe")));
   os << line;
+  os << incident_ticker(incidents_body);
 
   os << "components (arg-max occupancy share vs mixture weight):\n";
   const std::size_t comp_pos = find_key(body, "components");
@@ -1025,8 +1190,11 @@ int cmd_watch(const Args& args) {
     } else {
       failures = 0;
       ++polls;
+      // "" when the serving process predates the incident store — the
+      // ticker line is simply omitted.
+      const std::string incidents = fetch_body(port, "/incidents");
       if (clear) std::fputs("\033[H\033[2J", stdout);
-      render_dashboard(body, port, polls);
+      render_dashboard(body, incidents, port, polls);
     }
     if (iterations != 0 && polls >= iterations) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
@@ -1055,6 +1223,22 @@ void render_fleet(const fleet::FleetSnapshot& snap, std::size_t rounds,
                 static_cast<unsigned long long>(snap.devices_drifting),
                 static_cast<unsigned long long>(snap.devices_miscalibrated));
   os << line;
+  if (!snap.incident_groups.empty()) {
+    const fleet::IncidentGroup& g = snap.incident_groups.back();
+    std::string names;
+    for (const auto& a : g.archetypes) {
+      if (!names.empty()) names += ",";
+      names += a;
+    }
+    std::snprintf(line, sizeof line,
+                  "incidents  %zu groups | latest [%llu..%llu] %zu devices, "
+                  "%llu marks (%s)\n",
+                  snap.incident_groups.size(),
+                  static_cast<unsigned long long>(g.first_interval),
+                  static_cast<unsigned long long>(g.last_interval), g.devices,
+                  static_cast<unsigned long long>(g.marks), names.c_str());
+    os << line;
+  }
   os << "top anomalous streams (severity = EWMA of deficit below theta):\n";
   os << "  device  archetype         severity  alarms  status\n";
   for (const auto& t : snap.top) {
@@ -1187,10 +1371,14 @@ int cmd_fleet(const Args& args) {
 void usage() {
   std::fprintf(stderr,
                "usage: mhm_tool <train|record|ingest|inspect|monitor|replay"
-               "|simulate|metrics|journal|serve|watch|fleet|dump> "
+               "|simulate|metrics|journal|serve|watch|fleet|dump|incidents> "
                "[--flag value]...\n"
                "       mhm_tool replay <trace.mhmt> --model "
-               "<file-or-registry-dir>\n");
+               "<file-or-registry-dir>\n"
+               "       mhm_tool incidents list --dir <dir>\n"
+               "       mhm_tool incidents show --in <file.mhmi>\n"
+               "       mhm_tool incidents replay --in <file.mhmi> "
+               "--registry <dir>\n");
 }
 
 }  // namespace
@@ -1210,6 +1398,15 @@ int main(int argc, char** argv) {
         return 1;
       }
       return cmd_replay(argv[2], Args(argc, argv, 3));
+    }
+    if (cmd == "incidents") {
+      // The action is positional: incidents <list|show|replay> --flag value...
+      if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+        std::fprintf(stderr, "incidents: usage: mhm_tool incidents "
+                             "<list|show|replay> [--flag value]...\n");
+        return 1;
+      }
+      return cmd_incidents(argv[2], Args(argc, argv, 3));
     }
     const Args args(argc, argv, 2);
     if (cmd == "train") return cmd_train(args);
@@ -1240,6 +1437,46 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       std::raise(SIGSEGV);
       return 1;  // Unreachable: the re-raised signal kills the process.
+    }
+    if (cmd == "selftest-incident-crash") {
+      // Hidden hook for the incident crash-safety CLI test: render a
+      // synthetic incident but write only the first half of the bundle —
+      // the same cut a crash mid-write() produces — then die by SIGSEGV.
+      // The test asserts the partial file still parses (as truncated).
+      obs::IncidentStore::Options opts;
+      opts.dir = args.get("dir", ".");
+      obs::IncidentStore store(opts);
+      obs::Incident incident;
+      incident.reason = "alarm_burst";
+      incident.detail = "selftest";
+      incident.trigger_interval = 42;
+      incident.model_version = 7;
+      incident.threshold = -12.5;
+      incident.cells = 8;
+      incident.pre = 2;
+      incident.post = 2;
+      for (std::uint64_t i = 40; i <= 44; ++i) {
+        obs::IncidentEntry e;
+        e.interval = i;
+        e.score = -10.0 - static_cast<double>(i) / 3.0;
+        e.spe = 0.5 * static_cast<double>(i);
+        e.alarm = i >= 42;
+        e.nearest_pattern = 1;
+        e.model_version = 7;
+        e.row.assign(8, static_cast<double>(i));
+        incident.window.push_back(std::move(e));
+      }
+      const std::string path = store.debug_commit_partial(std::move(incident));
+      if (path.empty()) {
+        std::fprintf(stderr,
+                     "selftest-incident-crash: cannot write bundle in %s\n",
+                     opts.dir.c_str());
+        return 1;
+      }
+      std::printf("incident file: %s\n", path.c_str());
+      std::fflush(stdout);
+      std::raise(SIGSEGV);
+      return 1;  // Unreachable.
     }
     usage();
     return 1;
