@@ -8,6 +8,7 @@
 #include "common/stats.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 
 namespace mhm {
 
@@ -116,8 +117,12 @@ Verdict AnomalyDetector::analyze(const std::vector<double>& raw,
   // buffers (the old thread_local was shared by every detector on the
   // thread). Concurrent scoring goes through per-thread copies — see the
   // class comment.
+  PROF_ZONE(kAnalyze);
   const Verdict v = score_snapshot(*snap_, raw, interval_index, scratch_);
-  observer_->record(*snap_, v, raw, scratch_.reduced);
+  {
+    PROF_ZONE(kScoreObserve);
+    observer_->record(*snap_, v, raw, scratch_.reduced);
+  }
   return v;
 }
 

@@ -8,6 +8,7 @@
 #include "common/parallel.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace mhm {
@@ -293,6 +294,7 @@ Gmm Gmm::from_components(std::vector<GmmComponent> components) {
 Gmm Gmm::fit(const std::vector<std::vector<double>>& data,
              const Options& options) {
   OBS_SPAN("gmm.fit");
+  PROF_ZONE(kTrainEm);
   if (data.empty()) throw ConfigError("Gmm::fit: empty training set");
   const std::size_t n = data.size();
   const std::size_t d = data.front().size();

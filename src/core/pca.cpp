@@ -7,6 +7,7 @@
 #include "common/parallel.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace mhm {
@@ -116,11 +117,16 @@ Eigenmemory Eigenmemory::fit(const std::vector<std::vector<double>>& training,
   em.mean_ = compute_mean(training);
 
   const bool use_gram = options.allow_gram_trick && n < l;
+  Matrix moment;
+  {
+    PROF_ZONE(kTrainCovariance);
+    moment = use_gram ? gram_matrix(training, em.mean_)
+                      : covariance_direct(training, em.mean_);
+  }
   linalg::SymmetricEigenResult eig;
-  if (use_gram) {
-    eig = linalg::eigen_symmetric(gram_matrix(training, em.mean_));
-  } else {
-    eig = linalg::eigen_symmetric(covariance_direct(training, em.mean_));
+  {
+    PROF_ZONE(kTrainEigensolve);
+    eig = linalg::eigen_symmetric(moment);
   }
 
   // Clamp tiny negative round-off eigenvalues to zero; record the spectrum.

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/prof.hpp"
 
 namespace mhm {
 
@@ -47,13 +48,21 @@ Verdict score_snapshot(const ModelSnapshot& snapshot,
   // pattern together; the scratch buffers reach their final size on the
   // first interval and every later call is allocation-free.
   const auto t0 = std::chrono::steady_clock::now();
-  snapshot.pca.project_into(raw, scratch.phi, scratch.reduced);
-  const double ln_density = snapshot.gmm.responsibilities_into(
-      scratch.reduced, scratch.gmm, scratch.gamma);
-  const double log10_density = ln_density / kLn10;
-  const std::size_t pattern = static_cast<std::size_t>(
-      std::max_element(scratch.gamma.begin(), scratch.gamma.end()) -
-      scratch.gamma.begin());
+  {
+    PROF_ZONE(kScoreProject);
+    snapshot.pca.project_into(raw, scratch.phi, scratch.reduced);
+  }
+  double log10_density;
+  std::size_t pattern;
+  {
+    PROF_ZONE(kScoreGmm);
+    const double ln_density = snapshot.gmm.responsibilities_into(
+        scratch.reduced, scratch.gmm, scratch.gamma);
+    log10_density = ln_density / kLn10;
+    pattern = static_cast<std::size_t>(
+        std::max_element(scratch.gamma.begin(), scratch.gamma.end()) -
+        scratch.gamma.begin());
+  }
   const auto t1 = std::chrono::steady_clock::now();
 
   Verdict v;
@@ -67,6 +76,7 @@ Verdict score_snapshot(const ModelSnapshot& snapshot,
   // SPE from the projection scratch: the basis rows are orthonormal, so the
   // reconstruction residual ‖Φ − B^T w‖² is ‖Φ‖² − ‖w‖² — no reconstruction,
   // no allocation. Untimed: analysis_time stays the §5.4 measurement.
+  PROF_ZONE(kScoreSpe);
   double phi_sq = 0.0;
   for (double c : scratch.phi) phi_sq += c * c;
   double w_sq = 0.0;
@@ -122,30 +132,36 @@ void score_snapshot_batch(const ModelSnapshot& snapshot, ScoreBatch& batch,
   // Timed region mirrors score_snapshot(): projection + mixture density +
   // verdict columns; the SPE identity stays outside the clock.
   const auto t0 = std::chrono::steady_clock::now();
-  snapshot.pca.project_batch(batch.raws(), batch.phi, batch.reduced,
-                             &scratch.phi_sq);
-  batch.ln_density.resize(n);
-  snapshot.gmm.responsibilities_batch(batch.reduced, n, scratch.gmm,
-                                      batch.terms, batch.gamma,
-                                      batch.ln_density);
-  batch.log10_density.resize(n);
-  batch.anomalous.resize(n);
-  batch.nearest.resize(n);
-  const std::size_t j_count = snapshot.gmm.component_count();
-  for (std::size_t b = 0; b < n; ++b) {
-    const double log10_density = batch.ln_density[b] / kLn10;
-    batch.log10_density[b] = log10_density;
-    batch.anomalous[b] =
-        log10_density < snapshot.primary.log10_value ? 1 : 0;
-    // First strictly-greatest responsibility — std::max_element's tie rule.
-    // The argmax must run over gamma (not terms): exp can round two distinct
-    // terms to equal responsibilities, and the serial path breaks that tie
-    // on gamma order.
-    std::size_t best = 0;
-    for (std::size_t j = 1; j < j_count; ++j) {
-      if (batch.gamma[best * n + b] < batch.gamma[j * n + b]) best = j;
+  {
+    PROF_ZONE(kScoreProject);
+    snapshot.pca.project_batch(batch.raws(), batch.phi, batch.reduced,
+                               &scratch.phi_sq);
+  }
+  {
+    PROF_ZONE(kScoreGmm);
+    batch.ln_density.resize(n);
+    snapshot.gmm.responsibilities_batch(batch.reduced, n, scratch.gmm,
+                                        batch.terms, batch.gamma,
+                                        batch.ln_density);
+    batch.log10_density.resize(n);
+    batch.anomalous.resize(n);
+    batch.nearest.resize(n);
+    const std::size_t j_count = snapshot.gmm.component_count();
+    for (std::size_t b = 0; b < n; ++b) {
+      const double log10_density = batch.ln_density[b] / kLn10;
+      batch.log10_density[b] = log10_density;
+      batch.anomalous[b] =
+          log10_density < snapshot.primary.log10_value ? 1 : 0;
+      // First strictly-greatest responsibility — std::max_element's tie rule.
+      // The argmax must run over gamma (not terms): exp can round two distinct
+      // terms to equal responsibilities, and the serial path breaks that tie
+      // on gamma order.
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < j_count; ++j) {
+        if (batch.gamma[best * n + b] < batch.gamma[j * n + b]) best = j;
+      }
+      batch.nearest[b] = best;
     }
-    batch.nearest[b] = best;
   }
   const auto t1 = std::chrono::steady_clock::now();
   batch.batch_time =
@@ -153,6 +169,7 @@ void score_snapshot_batch(const ModelSnapshot& snapshot, ScoreBatch& batch,
 
   // SPE columns: ‖Φ‖² was folded into the projection pass; ‖w‖² accumulates
   // here in ascending-k order — the serial loop over scratch.reduced.
+  PROF_ZONE(kScoreSpe);
   const std::size_t k_count = snapshot.pca.components();
   scratch.w_sq.assign(n, 0.0);
   batch.spe.resize(n);

@@ -18,9 +18,16 @@ struct DetectorMetrics {
       "detector.intervals_analyzed", "MHM intervals scored by analyze()");
   obs::Counter& alarms = obs::Registry::instance().counter(
       "detector.alarms", "intervals below the primary threshold");
+  // Log-spaced bounds, ~4 per decade (10^0.25 steps) from 1 µs to 100 ms:
+  // the analyze path sits near 10 µs, and decade-wide buckets put its whole
+  // distribution in one bin — quarter-decade resolution separates the ~6 µs
+  // batch-amortized path from the ~10 µs serial one and resolves tail
+  // regressions a decade bucket would hide.
   obs::Histogram& analysis_ns = obs::Registry::instance().histogram(
       "detector.analysis_ns",
-      {1e3, 1e4, 1e5, 1e6, 1e7, 1e8},
+      {1.00e3, 1.78e3, 3.16e3, 5.62e3, 1.00e4, 1.78e4, 3.16e4, 5.62e4,
+       1.00e5, 1.78e5, 3.16e5, 5.62e5, 1.00e6, 1.78e6, 3.16e6, 5.62e6,
+       1.00e7, 1.78e7, 3.16e7, 5.62e7, 1.00e8},
       "wall-clock nanoseconds of projection + density per interval");
 };
 

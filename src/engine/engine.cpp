@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 
 namespace mhm::engine {
 
@@ -120,11 +121,15 @@ Verdict Session::analyze(std::span<const double> raw,
   // Interval-boundary pickup: one relaxed load per interval; the swap is
   // adopted before this map is scored, so no map is ever dropped or scored
   // against a retired snapshot after the boundary.
+  PROF_ZONE(kAnalyze);
   if (shared_->epoch.load(std::memory_order_acquire) != epoch_) {
     refresh_model(interval_index);
   }
   const Verdict v = score_snapshot(*snap_, raw, interval_index, scratch_);
-  observer_->record(*snap_, v, raw, scratch_.reduced);
+  {
+    PROF_ZONE(kScoreObserve);
+    observer_->record(*snap_, v, raw, scratch_.reduced);
+  }
   return v;
 }
 
@@ -150,17 +155,26 @@ void DetectionEngine::analyze_shard(std::span<Session* const> sessions,
              "analyze_shard: sessions/raws/intervals must be parallel");
   if (sessions.empty()) return;
 
+  // One analyze umbrella per shard call; the serial-fallback sessions open
+  // nested analyze zones that the profiler records only at this outermost
+  // level.
+  PROF_ZONE(kAnalyze);
+
   // Gather: interval-boundary model pickup per session, in session order —
   // exactly the check each session's own analyze() would have run first.
-  for (std::size_t i = 0; i < sessions.size(); ++i) {
-    Session& s = *sessions[i];
-    if (s.shared_->epoch.load(std::memory_order_acquire) != s.epoch_) {
-      s.refresh_model(interval_indices[i]);
-    }
-  }
-  const ModelSnapshot* model = sessions.front()->snap_.get();
+  const ModelSnapshot* model;
   bool homogeneous = true;
-  for (Session* s : sessions) homogeneous &= (s->snap_.get() == model);
+  {
+    PROF_ZONE(kShardGather);
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      Session& s = *sessions[i];
+      if (s.shared_->epoch.load(std::memory_order_acquire) != s.epoch_) {
+        s.refresh_model(interval_indices[i]);
+      }
+    }
+    model = sessions.front()->snap_.get();
+    for (Session* s : sessions) homogeneous &= (s->snap_.get() == model);
+  }
   if (!homogeneous) {
     // A swap_model() landed between two pickups of the gather loop, so the
     // shard spans two model versions. Score serially per session — the
@@ -172,14 +186,18 @@ void DetectionEngine::analyze_shard(std::span<Session* const> sessions,
     return;
   }
 
-  workspace.batch.clear(model->pca.input_dim());
-  for (std::size_t i = 0; i < sessions.size(); ++i) {
-    workspace.batch.push(raws[i], interval_indices[i]);
+  {
+    PROF_ZONE(kShardGather);
+    workspace.batch.clear(model->pca.input_dim());
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      workspace.batch.push(raws[i], interval_indices[i]);
+    }
   }
   score_snapshot_batch(*model, workspace.batch, workspace.scratch);
 
   // Scatter in session order: each verdict flows through its own session's
   // observer exactly as its serial analyze() would have recorded it.
+  PROF_ZONE(kShardScatter);
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     Session& s = *sessions[i];
     const Verdict v = workspace.batch.verdict(i);

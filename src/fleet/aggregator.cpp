@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/model_health.hpp"
+#include "obs/prof.hpp"
 
 namespace mhm::fleet {
 
@@ -48,6 +49,8 @@ struct FleetAggregator::Shard {
 
   alignas(64) std::atomic<std::uint64_t> intervals{0};
   std::atomic<std::uint64_t> alarms{0};
+  /// Profiler work (cycles or thread-CPU ns) spent scoring this shard.
+  std::atomic<std::uint64_t> work{0};
 
   /// Owner-only staging: marks produced by record_chunk since the last
   /// fold (the owning worker's thread, no lock needed).
@@ -58,9 +61,11 @@ struct FleetAggregator::Shard {
   std::vector<TopStream> top;                    ///< Local top-K, folded.
   std::vector<IncidentMark> marks;  ///< Folded, newest-trimmed ring.
   double intervals_per_sec = 0.0;
+  double cycles_per_interval = 0.0;
 
   obs::Gauge* g_intervals = nullptr;
   obs::Gauge* g_rate = nullptr;
+  obs::Gauge* g_work = nullptr;
 };
 
 FleetAggregator::FleetAggregator(const FleetSpec& spec,
@@ -100,6 +105,10 @@ FleetAggregator::FleetAggregator(const FleetSpec& spec,
     shard->g_rate = &reg.gauge(
         prefix + ".intervals_per_sec",
         "scoring rate of fleet shard " + std::to_string(s));
+    shard->g_work = &reg.gauge(
+        prefix + ".cycles_per_interval",
+        "profiler work (cycles or thread-CPU ns, per the counter source) "
+        "per interval scored by fleet shard " + std::to_string(s));
     shards_.push_back(std::move(shard));
   }
 }
@@ -139,6 +148,10 @@ void FleetAggregator::record_chunk(std::size_t shard,
   if (alarm_count > 0) {
     sh.alarms.fetch_add(alarm_count, std::memory_order_relaxed);
   }
+}
+
+void FleetAggregator::record_work(std::size_t shard, std::uint64_t work) {
+  shards_[shard]->work.fetch_add(work, std::memory_order_relaxed);
 }
 
 void FleetAggregator::fold_shard(std::size_t shard,
@@ -185,10 +198,15 @@ void FleetAggregator::fold_shard(std::size_t shard,
 
   const std::uint64_t shard_intervals =
       sh.intervals.load(std::memory_order_relaxed);
+  const std::uint64_t shard_work = sh.work.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(sh.mu);
     sh.status_counts = counts;
     sh.top = std::move(top);
+    sh.cycles_per_interval =
+        shard_intervals == 0 ? 0.0
+                             : static_cast<double>(shard_work) /
+                                   static_cast<double>(shard_intervals);
     // Publish the owner-side marks to the scrape-visible folded list,
     // newest-trimmed so a perpetually alarming fleet stays bounded.
     sh.marks.insert(sh.marks.end(), sh.pending_marks.begin(),
@@ -205,6 +223,7 @@ void FleetAggregator::fold_shard(std::size_t shard,
     }
     sh.g_intervals->set(static_cast<double>(shard_intervals));
     sh.g_rate->set(sh.intervals_per_sec);
+    sh.g_work->set(sh.cycles_per_interval);
   }
   sh.pending_marks.clear();
 
@@ -254,6 +273,7 @@ FleetSnapshot FleetAggregator::snapshot() const {
   FleetSnapshot snap;
   snap.devices = device_count();
   snap.shards = shard_count();
+  snap.prof_source = obs::prof::counter_source();
   snap.shard_summaries.reserve(shards_.size());
 
   std::vector<TopStream> merged;
@@ -268,6 +288,7 @@ FleetSnapshot FleetAggregator::snapshot() const {
     {
       std::lock_guard<std::mutex> lk(sh->mu);
       summary.intervals_per_sec = sh->intervals_per_sec;
+      summary.cycles_per_interval = sh->cycles_per_interval;
       snap.devices_ok += sh->status_counts[0];
       snap.devices_drifting += sh->status_counts[1];
       snap.devices_miscalibrated += sh->status_counts[2];
@@ -340,13 +361,16 @@ std::string fleet_json(const FleetSnapshot& snapshot) {
      << snapshot.devices_ok << ",\"drifting\":" << snapshot.devices_drifting
      << ",\"miscalibrated\":" << snapshot.devices_miscalibrated
      << "},\"intervals_per_sec\":" << json_num(snapshot.intervals_per_sec)
-     << ",\"shards_detail\":[";
+     << ",\"prof_source\":\"" << snapshot.prof_source
+     << "\",\"shards_detail\":[";
   for (std::size_t s = 0; s < snapshot.shard_summaries.size(); ++s) {
     const ShardSummary& sh = snapshot.shard_summaries[s];
     if (s > 0) os << ",";
     os << "{\"shard\":" << s << ",\"devices\":" << sh.devices
        << ",\"intervals\":" << sh.intervals << ",\"alarms\":" << sh.alarms
-       << ",\"intervals_per_sec\":" << json_num(sh.intervals_per_sec) << "}";
+       << ",\"intervals_per_sec\":" << json_num(sh.intervals_per_sec)
+       << ",\"cycles_per_interval\":" << json_num(sh.cycles_per_interval)
+       << "}";
   }
   os << "],\"top\":[";
   for (std::size_t i = 0; i < snapshot.top.size(); ++i) {

@@ -53,6 +53,11 @@ struct ShardSummary {
   /// Wall-clock scoring rate — timing, explicitly outside the determinism
   /// contract (everything else in a snapshot is bit-reproducible).
   double intervals_per_sec = 0.0;
+  /// Profiler work per scored interval (perf cycles when the counter source
+  /// is perf_event, thread-CPU nanoseconds otherwise — see
+  /// FleetSnapshot::prof_source). Timing-class: outside the determinism
+  /// contract, like intervals_per_sec.
+  double cycles_per_interval = 0.0;
 };
 
 /// Point-in-time fleet-wide state: everything /fleet serves. O(shards × K)
@@ -66,6 +71,9 @@ struct FleetSnapshot {
   std::uint64_t devices_drifting = 0;
   std::uint64_t devices_miscalibrated = 0;
   double intervals_per_sec = 0.0;
+  /// Unit of ShardSummary::cycles_per_interval: "perf_event" (CPU cycles),
+  /// "thread_cputime" (nanoseconds), or "disabled".
+  std::string prof_source;
   std::vector<ShardSummary> shard_summaries;
   /// Severity-descending (ties: device id ascending), at most spec.top_k.
   std::vector<TopStream> top;
@@ -121,6 +129,13 @@ class FleetAggregator {
   /// Owner-only; O(1) per verdict.
   void record_chunk(std::size_t shard, std::size_t first_device,
                     std::span<const Verdict> verdicts, double threshold);
+
+  /// Add `work` profiler-counter units (cycles or thread-CPU ns, per the
+  /// process counter source) spent scoring shard `shard` — the runner's
+  /// per-round delta of obs::prof::thread_work_counter(). Owner-only, like
+  /// record_chunk; folded into ShardSummary::cycles_per_interval at the
+  /// next fold_shard.
+  void record_work(std::size_t shard, std::uint64_t work);
 
   /// Recompute shard `shard`'s status rollup and local top-K from the
   /// per-device state. `statuses[i]` is the ModelHealthStatus (0/1/2) of

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "obs/model_health.hpp"
+#include "obs/prof.hpp"
 
 namespace mhm::fleet {
 
@@ -173,6 +174,10 @@ void FleetRunner::pump_shard_round(std::size_t shard, std::uint64_t round) {
   ShardScratch& sc = *scratch_[shard];
   const std::size_t begin = shard_of_begin_[shard];
   const std::size_t end = shard_of_begin_[shard + 1];
+  // Profiler work delta for the whole round: the shard is owned by this
+  // worker thread for the round's duration, so the per-thread counter delta
+  // is exactly the shard's scoring cost (cycles or thread-CPU ns).
+  const std::uint64_t work0 = obs::prof::thread_work_counter();
   for (std::size_t chunk = begin; chunk < end; chunk += kChunk) {
     const std::size_t chunk_end = std::min(end, chunk + kChunk);
     sc.sessions.clear();
@@ -191,6 +196,10 @@ void FleetRunner::pump_shard_round(std::size_t shard, std::uint64_t round) {
     if (aggregate_) {
       aggregator_->record_chunk(shard, chunk, sc.verdicts, threshold_);
     }
+  }
+  if (aggregate_) {
+    const std::uint64_t work1 = obs::prof::thread_work_counter();
+    if (work1 > work0) aggregator_->record_work(shard, work1 - work0);
   }
 }
 

@@ -1,5 +1,7 @@
 #include "obs/build_info.hpp"
 
+#include "obs/prof.hpp"
+
 namespace mhm::obs {
 namespace {
 
@@ -61,6 +63,9 @@ std::string build_info_text(const std::string& prefix) {
   out += prefix + "compiler " + info.compiler + "\n";
   out += prefix + "simd " + info.simd + "\n";
   out += prefix + "obs " + (info.obs_disabled ? "disabled" : "enabled") + "\n";
+  // Probed lazily, not part of the static BuildInfo: the perf_event probe
+  // should run only when someone renders the block, not at first obs use.
+  out += prefix + "counters " + prof::counter_source() + "\n";
   return out;
 }
 
@@ -76,6 +81,8 @@ std::string build_info_json() {
   append_escaped(out, info.simd);
   out += ",\"obs_disabled\":";
   out += info.obs_disabled ? "true" : "false";
+  out += ",\"counters\":";
+  append_escaped(out, prof::counter_source());
   out += "}";
   return out;
 }

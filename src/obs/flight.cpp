@@ -19,6 +19,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/model_health.hpp"
+#include "obs/prof.hpp"
 
 namespace mhm::obs {
 
@@ -260,6 +261,7 @@ std::string FlightRecorder::render_locked(const std::string& reason) const {
   if (incidents_) {
     os << "== incidents ==\n" << incidents_();
   }
+  os << "== profile ==\n" << prof::dump_section();
   const bool alarm_row = have_alarm_row_;
   if (alarm_row || have_row_) {
     const auto& row = alarm_row ? alarm_row_ : last_row_;

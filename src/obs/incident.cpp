@@ -14,6 +14,7 @@
 
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 
 namespace mhm::obs {
 namespace {
@@ -125,6 +126,11 @@ std::string IncidentStore::commit_locked(Incident& incident, bool partial) {
     for (const double v : e.row) append_fmt(buffer_, " %a", v);
     buffer_ += '\n';
   }
+  // Profiler state at commit time: which stage the process was spending its
+  // cycles in when the incident fired, from the same accumulators /profile
+  // serves. Informational — the parser skips it.
+  buffer_ += "== profile ==\n";
+  buffer_ += prof::dump_section();
   buffer_ += "== end ==\n";
 
   const std::size_t write_len = partial ? buffer_.size() / 2 : buffer_.size();
@@ -440,7 +446,7 @@ bool parse_incident_file(const std::string& path, IncidentBundle* out,
   out->truncated = true;  // Until the end marker shows up.
   out->build_info.clear();
 
-  enum class Section { kHeader, kVerdicts, kCells, kRows, kDone };
+  enum class Section { kHeader, kVerdicts, kCells, kRows, kProfile, kDone };
   Section section = Section::kHeader;
   while (std::getline(file, line)) {
     if (line == "== end ==") {
@@ -458,6 +464,10 @@ bool parse_incident_file(const std::string& path, IncidentBundle* out,
     }
     if (starts_with(line, "== rows")) {
       section = Section::kRows;
+      continue;
+    }
+    if (starts_with(line, "== profile ==")) {
+      section = Section::kProfile;
       continue;
     }
     std::istringstream ls(line);

@@ -15,6 +15,7 @@
 #include "obs/incident.hpp"
 #include "obs/metrics.hpp"
 #include "obs/model_health.hpp"
+#include "obs/prof.hpp"
 
 #if !defined(MHM_OBS_DISABLED)
 #include <netinet/in.h>
@@ -250,8 +251,30 @@ void MonitorServer::Impl::respond(int fd, const std::string& target) {
       qmark == std::string::npos ? "" : target.substr(qmark + 1);
 
   if (path == "/metrics") {
+    // Scrape-time push: fold the profiler accumulators into prof.* gauges
+    // so zones never touch the registry on the hot path.
+    prof::refresh_registry_metrics();
     send_response(fd, 200, "OK", "text/plain; version=0.0.4",
                   prometheus_text());
+    return;
+  }
+  if (path == "/profile") {
+    std::string format = "json";
+    std::string format_raw;
+    if (query_param(query, "format", &format_raw)) {
+      if (format_raw != "json" && format_raw != "collapsed") {
+        send_json_error(fd, "format must be one of json|collapsed, got '" +
+                                format_raw + "'");
+        return;
+      }
+      format = format_raw;
+    }
+    if (format == "collapsed") {
+      send_response(fd, 200, "OK", "text/plain", prof::collapsed_stacks());
+      return;
+    }
+    send_response(fd, 200, "OK", "application/json",
+                  prof::profile_json() + "\n");
     return;
   }
   if (path == "/healthz") {

@@ -35,12 +35,16 @@ class ScoreHistory;
 ///                     resolution tier (0 = raw), from a minimum interval
 ///   /incidents        incident-bundle summaries JSON (set_incidents)
 ///   /incidents/<id>   one incident with its hexfloat verdict sequence
-///   /version          build info JSON: git describe, compiler, SIMD tier
+///   /profile?format=  continuous-profiler state: format=json (default) is
+///                     per-stage wall/IPC/miss attribution, format=collapsed
+///                     is flamegraph.pl / speedscope collapsed stacks
+///   /version          build info JSON: git describe, compiler, SIMD tier,
+///                     profiler counter source
 ///   /flush            force a flight-recorder dump, returns its path
 ///
-/// Malformed or out-of-range query parameters (?tail=, ?res=, ?from=, a
-/// non-numeric incident id) answer 400 with a JSON error object — never a
-/// silent clamp, never a 500.
+/// Malformed or out-of-range query parameters (?tail=, ?res=, ?from=,
+/// ?format=, a non-numeric incident id) answer 400 with a JSON error
+/// object — never a silent clamp, never a 500.
 ///
 /// Handling runs entirely on the server thread and only reads state behind
 /// the obs layer's own locks/atomics, so an attached scraper never touches

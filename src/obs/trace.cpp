@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 
 namespace mhm::obs {
 
@@ -82,11 +83,13 @@ SpanScope::SpanScope(const char* name) : name_(name) {
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   parent_ = tl_current_span;
   tl_current_span = id_;
+  pushed_ = prof::sampler_push_frame(name_);
   start_ns_ = monotonic_ns();
 }
 
 SpanScope::~SpanScope() {
   if (id_ == 0) return;  // Was disabled at construction.
+  if (pushed_) prof::sampler_pop_frame();
   tl_current_span = parent_;
   SpanRecord rec;
   rec.id = id_;

@@ -80,6 +80,7 @@ class SpanScope {
   std::uint64_t id_ = 0;
   std::uint64_t parent_ = 0;
   std::uint64_t start_ns_ = 0;
+  bool pushed_ = false;  ///< Frame pushed onto the sampling-profiler stack.
 };
 
 #define MHM_OBS_CONCAT_INNER(a, b) a##b

@@ -13,6 +13,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 
@@ -34,6 +35,7 @@
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/model_health.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace mhm::obs {
@@ -216,6 +218,69 @@ TEST(ChromeTrace, RealSpansNestByParentId) {
   buf.clear();
 }
 
+TEST(ChromeTrace, ConcurrentExportStaysValidAndNestsPerThread) {
+  EnabledGuard guard;
+  if (!enabled()) GTEST_SKIP() << "obs layer compiled out";
+  SpanBuffer& buf = SpanBuffer::instance();
+  buf.clear();
+
+  // Four worker threads each emit known outer/inner span pairs while two
+  // exporter threads serialize the ring — every concurrently exported
+  // document must already be well-formed, not just the final one.
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kPairsPerWorker = 32;
+  static const char* kOuterNames[kWorkers] = {"w0.outer", "w1.outer",
+                                              "w2.outer", "w3.outer"};
+  static const char* kInnerNames[kWorkers] = {"w0.inner", "w1.inner",
+                                              "w2.inner", "w3.inner"};
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([w] {
+      for (std::size_t i = 0; i < kPairsPerWorker; ++i) {
+        SpanScope outer(kOuterNames[w]);
+        SpanScope inner(kInnerNames[w]);
+        (void)outer;
+        (void)inner;
+      }
+    });
+  }
+  for (int e = 0; e < 2; ++e) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 8; ++i) {
+        const std::string json = chrome_trace_json();
+        EXPECT_TRUE(JsonChecker(json).valid()) << json;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    EXPECT_NE(json.find(kInnerNames[w]), std::string::npos);
+  }
+
+  // Parent linkage is per-thread: every wN.inner span must point at a
+  // wN.outer span of the same worker, never at another thread's span.
+  const std::vector<SpanRecord> records = buf.snapshot();
+  ASSERT_EQ(records.size(), kWorkers * kPairsPerWorker * 2);
+  std::size_t inners = 0;
+  for (const SpanRecord& rec : records) {
+    const std::string name = rec.name;
+    if (name.find(".inner") == std::string::npos) continue;
+    ++inners;
+    ASSERT_NE(rec.parent_id, 0u) << name;
+    const auto parent =
+        std::find_if(records.begin(), records.end(),
+                     [&](const SpanRecord& r) { return r.id == rec.parent_id; });
+    ASSERT_NE(parent, records.end()) << name;
+    EXPECT_EQ(std::string(parent->name),
+              name.substr(0, 2) + ".outer") << name;
+  }
+  EXPECT_EQ(inners, kWorkers * kPairsPerWorker);
+  buf.clear();
+}
+
 /// Blocking loopback GET; returns the full response (headers + body).
 std::string http_get(std::uint16_t port, const std::string& request) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -367,6 +432,45 @@ TEST_F(MonitorServerTest, TraceServesChromeTraceJson) {
   EXPECT_TRUE(JsonChecker(body).valid()) << body;
   EXPECT_NE(body.find("\"served_span\""), std::string::npos);
   SpanBuffer::instance().clear();
+}
+
+TEST_F(MonitorServerTest, ProfileServesJsonAndCollapsedFormats) {
+  // The profiler needs at least one recorded zone so both formats have
+  // content; the route itself is always live (like /version).
+  const bool prof_was = prof::prof_enabled();
+  prof::set_prof_enabled(true);
+  prof::reset();
+  {
+    PROF_ZONE(kAnalyze);
+    PROF_ZONE(kScoreProject);
+    volatile std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < 2'000'000; ++i) acc = acc + i;
+  }
+
+  const std::string response = get_path(server_.port(), "/profile");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"source\":"), std::string::npos);
+  EXPECT_NE(body.find("\"stage\":\"score.project\""), std::string::npos);
+  EXPECT_NE(body.find("\"attributed_fraction\":"), std::string::npos);
+
+  const std::string collapsed_response =
+      get_path(server_.port(), "/profile?format=collapsed");
+  EXPECT_NE(collapsed_response.find("200 OK"), std::string::npos);
+  EXPECT_NE(collapsed_response.find("text/plain"), std::string::npos);
+  EXPECT_NE(body_of(collapsed_response).find("analyze;score.project "),
+            std::string::npos)
+      << body_of(collapsed_response);
+
+  // An unknown format is the caller's bug: 400 with a JSON error.
+  const std::string bad = get_path(server_.port(), "/profile?format=svg");
+  EXPECT_NE(bad.find("400"), std::string::npos);
+  EXPECT_NE(body_of(bad).find("\"error\":"), std::string::npos);
+
+  prof::reset();
+  prof::set_prof_enabled(prof_was);
 }
 
 TEST_F(MonitorServerTest, RejectsUnknownRoutesMethodsAndOversizedRequests) {

@@ -103,6 +103,13 @@
 //       quantiles, drift statistics, component occupancy bars, and the
 //       latest heat-map row. --iterations 0 (default) polls until killed.
 //
+//   mhm_tool prof    --port P [--top N] [--format table|json|collapsed]
+//       Continuous-profiler view of a serving process: fetch GET /profile
+//       and render the per-stage wall/IPC/cache-miss attribution table
+//       sorted by wall time (--top N keeps the N hottest stages);
+//       --format json prints the raw document, --format collapsed prints
+//       flamegraph.pl / speedscope collapsed stacks.
+//
 //   mhm_tool dump    --in file.mhmdump
 //       Pretty-print a flight-recorder dump: why and when it was written,
 //       headline metrics, journal alarms, and the captured heatmap row.
@@ -144,6 +151,7 @@
 #include "obs/flight.hpp"
 #include "obs/incident.hpp"
 #include "obs/model_health.hpp"
+#include "obs/prof.hpp"
 #include "obs/server.hpp"
 #include "pipeline/experiment.hpp"
 
@@ -693,9 +701,15 @@ int cmd_serve(const Args& args) {
   obs::FlightRecorder::instance().set_model_health(det->model_health());
   obs::FlightRecorder::instance().set_incidents(
       [incidents] { return incidents->dump_section(); });
+  // Continuous profiler: the stage zones are always live; the sampling
+  // profiler additionally collects collapsed stacks for
+  // /profile?format=collapsed while the endpoint is up.
+  obs::prof::start_sampler();
   std::printf("serving http://127.0.0.1:%u (metrics, healthz, status, "
-              "journal, trace, model, history, incidents, version, flush)\n",
+              "journal, trace, model, history, incidents, profile, version, "
+              "flush)\n",
               static_cast<unsigned>(server.port()));
+  std::printf("profiler counters: %s\n", obs::prof::counter_source());
   std::fflush(stdout);
 
   // Replay scenarios against the live endpoint so every route has data.
@@ -739,6 +753,7 @@ int cmd_serve(const Args& args) {
 
   const std::string final_dump =
       obs::FlightRecorder::instance().dump("shutdown");
+  obs::prof::stop_sampler();
   server.stop();
   obs::FlightRecorder::instance().disarm();
   std::printf("served %llu replays, %zu alarms; final dump: %s\n",
@@ -1202,6 +1217,96 @@ int cmd_watch(const Args& args) {
   return 0;
 }
 
+/// One parsed row of the /profile stages array.
+struct ProfRow {
+  std::string name;
+  double entries = 0.0;
+  double wall_ns = 0.0;
+  double per_entry_ns = 0.0;
+  double ipc = 0.0;
+  double cache_misses = 0.0;
+  double counter_samples = 0.0;
+};
+
+int cmd_prof(const Args& args) {
+  const auto port = static_cast<std::uint16_t>(args.get_u64("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr,
+                 "prof: --port <port> of a serving process is required\n");
+    return 1;
+  }
+  const std::string format = args.get("format", "table");
+  if (format == "collapsed") {
+    // Raw collapsed stacks, pipe-ready for flamegraph.pl / speedscope.
+    const std::string body = fetch_body(port, "/profile?format=collapsed");
+    std::fputs(body.c_str(), stdout);
+    return body.empty() ? 1 : 0;
+  }
+  if (format != "table" && format != "json") {
+    std::fprintf(stderr, "prof: --format must be table|json|collapsed\n");
+    return 1;
+  }
+
+  const std::string body = fetch_body(port, "/profile?format=json");
+  if (body.empty()) {
+    std::fprintf(stderr,
+                 "prof: no /profile response from 127.0.0.1:%u (is a serve "
+                 "process running?)\n",
+                 static_cast<unsigned>(port));
+    return 1;
+  }
+  if (format == "json") {
+    std::fputs(body.c_str(), stdout);
+    return 0;
+  }
+
+  const double analyze_wall = num_field(body, "analyze_wall_ns");
+  const double attributed = num_field(body, "attributed_fraction");
+  std::vector<ProfRow> rows;
+  std::size_t from = find_key(body, "stages");
+  while (from != std::string::npos) {
+    const std::size_t k = find_key(body, "stage", from + 1);
+    if (k == std::string::npos) break;
+    ProfRow r;
+    r.name = str_field(body, "stage", from + 1);
+    r.entries = num_field(body, "entries", k);
+    r.wall_ns = num_field(body, "wall_ns", k);
+    r.per_entry_ns = num_field(body, "wall_ns_per_entry", k);
+    r.ipc = num_field(body, "ipc", k);
+    r.cache_misses = num_field(body, "cache_misses", k);
+    r.counter_samples = num_field(body, "counter_samples", k);
+    rows.push_back(std::move(r));
+    from = k;
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfRow& a, const ProfRow& b) {
+              return a.wall_ns > b.wall_ns;
+            });
+  const std::uint64_t top = args.get_u64("top", 0);
+  if (top != 0 && rows.size() > top) rows.resize(top);
+
+  std::printf("mhm profile  http://127.0.0.1:%u/profile\n",
+              static_cast<unsigned>(port));
+  std::printf("counters %s | sampler %.0f stacks | analyze wall %.3f s | "
+              "attributed %.1f%%  (top scoring stage: %s)\n",
+              str_field(body, "source").c_str(),
+              num_field(body, "samples"), analyze_wall * 1e-9,
+              attributed * 100.0,
+              str_field(body, "top_scoring_stage").c_str());
+  std::printf("  %-18s %10s %12s %14s %7s %6s %12s\n", "stage", "entries",
+              "wall(ms)", "per-entry(us)", "share", "ipc", "cache-miss");
+  for (const ProfRow& r : rows) {
+    if (r.entries == 0.0) continue;
+    const double share =
+        analyze_wall > 0.0 ? r.wall_ns / analyze_wall * 100.0 : 0.0;
+    std::printf("  %-18s %10.0f %12.3f %14.3f %6.1f%% %6.2f %12.0f\n",
+                r.name.c_str(), r.entries, r.wall_ns * 1e-6,
+                r.per_entry_ns * 1e-3, share, r.ipc, r.cache_misses);
+  }
+  if (rows.empty()) std::printf("  (no stages recorded yet)\n");
+  return 0;
+}
+
 void render_fleet(const fleet::FleetSnapshot& snap, std::size_t rounds,
                   std::size_t total_rounds, std::uint16_t port) {
   std::ostringstream os;
@@ -1371,8 +1476,8 @@ int cmd_fleet(const Args& args) {
 void usage() {
   std::fprintf(stderr,
                "usage: mhm_tool <train|record|ingest|inspect|monitor|replay"
-               "|simulate|metrics|journal|serve|watch|fleet|dump|incidents> "
-               "[--flag value]...\n"
+               "|simulate|metrics|journal|serve|watch|prof|fleet|dump"
+               "|incidents> [--flag value]...\n"
                "       mhm_tool replay <trace.mhmt> --model "
                "<file-or-registry-dir>\n"
                "       mhm_tool incidents list --dir <dir>\n"
@@ -1419,6 +1524,7 @@ int main(int argc, char** argv) {
     if (cmd == "journal") return cmd_journal(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "watch") return cmd_watch(args);
+    if (cmd == "prof") return cmd_prof(args);
     if (cmd == "fleet") return cmd_fleet(args);
     if (cmd == "dump") return cmd_dump(args);
     if (cmd == "selftest-crash") {
