@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
@@ -199,6 +200,216 @@ Eigenmemory Eigenmemory::fit(const HeatMapTrace& maps,
   raw.reserve(maps.size());
   for (const auto& m : maps) raw.push_back(m.as_vector());
   return fit(raw, options);
+}
+
+namespace {
+
+/// Z = A Q: one row per sample, z[a][j] = Φ_a · q_j. Every output element is
+/// an independent i-ascending dot, so row blocks parallelize bit-exactly.
+void data_times_basis(const std::vector<std::vector<double>>& phis,
+                      const std::vector<std::vector<double>>& q_cols,
+                      std::vector<std::vector<double>>& z) {
+  const std::size_t m = q_cols.size();
+  z.resize(phis.size());
+  parallel_for(phis.size(), 0, [&](std::size_t a0, std::size_t a1) {
+    for (std::size_t a = a0; a < a1; ++a) {
+      z[a].resize(m);
+      for (std::size_t j = 0; j < m; ++j) {
+        z[a][j] = linalg::dot(phis[a], q_cols[j]);
+      }
+    }
+  });
+}
+
+/// Y_j = (1/N) A^T z_(·,j) = C q_j without forming C. Row blocks of the
+/// output are parallel; each element accumulates over samples in ascending
+/// index order (the covariance_direct contract), so the result is
+/// bit-identical at any thread count.
+void covariance_apply(const std::vector<std::vector<double>>& phis,
+                      const std::vector<std::vector<double>>& z,
+                      std::size_t l, std::vector<std::vector<double>>& y) {
+  const std::size_t m = y.size();
+  const double inv_n = 1.0 / static_cast<double>(phis.size());
+  for (auto& col : y) col.assign(l, 0.0);
+  parallel_for(l, 0, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t a = 0; a < phis.size(); ++a) {
+      const auto& phi = phis[a];
+      for (std::size_t j = 0; j < m; ++j) {
+        const double zaj = z[a][j];
+        if (zaj == 0.0) continue;
+        auto& col = y[j];
+        for (std::size_t i = i0; i < i1; ++i) col[i] += zaj * phi[i];
+      }
+    }
+  });
+  for (auto& col : y) {
+    for (double& v : col) v *= inv_n;
+  }
+}
+
+/// In-place modified Gram–Schmidt over the columns. Serial by design: the
+/// column count is k + oversample (tiny), and a fixed sweep order keeps the
+/// orthonormalization deterministic. A column that collapses to numerical
+/// zero (rank-deficient data) is re-seeded with a canonical basis vector so
+/// the sweep always yields a full orthonormal set.
+void orthonormalize_columns(std::vector<std::vector<double>>& cols) {
+  const std::size_t l = cols.empty() ? 0 : cols.front().size();
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    for (std::size_t p = 0; p < j; ++p) {
+      const double r = linalg::dot(cols[p], cols[j]);
+      for (std::size_t i = 0; i < l; ++i) cols[j][i] -= r * cols[p][i];
+    }
+    double nrm = linalg::norm2(cols[j]);
+    if (!(nrm > 1e-12)) {
+      // Deterministic re-seed: e_{j mod L}, re-orthogonalized.
+      std::fill(cols[j].begin(), cols[j].end(), 0.0);
+      cols[j][j % l] = 1.0;
+      for (std::size_t p = 0; p < j; ++p) {
+        const double r = linalg::dot(cols[p], cols[j]);
+        for (std::size_t i = 0; i < l; ++i) cols[j][i] -= r * cols[p][i];
+      }
+      nrm = linalg::norm2(cols[j]);
+    }
+    const double inv = 1.0 / nrm;
+    for (double& v : cols[j]) v *= inv;
+  }
+}
+
+}  // namespace
+
+Eigenmemory Eigenmemory::fit_topk(
+    const std::vector<std::vector<double>>& training,
+    const TopkOptions& options) {
+  OBS_SPAN("pca.fit_topk");
+  if (training.empty()) {
+    throw ConfigError("Eigenmemory::fit_topk: empty training set");
+  }
+  const std::size_t l = training.front().size();
+  if (l == 0) throw ConfigError("Eigenmemory::fit_topk: zero-dimensional maps");
+  const std::size_t n = training.size();
+  const std::size_t rank_cap = std::min(l, n);
+  if (options.components == 0) {
+    throw ConfigError("Eigenmemory::fit_topk: components must be > 0");
+  }
+  if (options.components > rank_cap) {
+    throw ConfigError(
+        "Eigenmemory::fit_topk: requested more components than min(L, N)");
+  }
+  const std::size_t keep = options.components;
+  const std::size_t m = std::min(keep + options.oversample, rank_cap);
+
+  // Small-N route: the N×N Gram eigensolve is exact and already cheap —
+  // reuse the full fit() (it auto-selects the Turk–Pentland trick when
+  // N < L), which also yields the complete spectrum. The same fallback
+  // covers the degenerate case where the oversampled subspace would span
+  // the whole rank anyway — the randomized route would do strictly more
+  // work than the exact one.
+  if ((n < l && n <= options.gram_limit) || m >= rank_cap) {
+    Options exact;
+    exact.components = keep;
+    return fit(training, exact);
+  }
+
+  Eigenmemory em;
+  em.mean_ = compute_mean(training);
+  const auto phis = mean_shifted(training, em.mean_);
+
+  // trace(C) = (1/N) Σ ‖Φ_a‖² — the total variance, exact, without C.
+  double trace = 0.0;
+  for (const auto& phi : phis) trace += linalg::dot(phi, phi);
+  trace /= static_cast<double>(n);
+
+  // Randomized range finder with subspace (power) iteration:
+  //   Q ← orth(C Ω);  repeat q times: Q ← orth(C Q)
+  // where every C·X product is computed as A^T(A X)/N on the data matrix.
+  // Ω is filled serially from a fixed-seed generator, and every parallel
+  // product above is element-independent, so the whole pipeline is
+  // bit-deterministic at any MHM_THREADS.
+  std::vector<std::vector<double>> q_cols(m);
+  {
+    PROF_ZONE(kTrainCovariance);
+    Rng rng(options.seed);
+    std::vector<std::vector<double>> omega(m);
+    for (auto& col : omega) col.resize(l);
+    // Fill in (row, column) order so the stream matches a column-major Ω.
+    for (std::size_t i = 0; i < l; ++i) {
+      for (std::size_t j = 0; j < m; ++j) omega[j][i] = rng.normal();
+    }
+    std::vector<std::vector<double>> z;
+    data_times_basis(phis, omega, z);
+    for (auto& col : q_cols) col.resize(l);
+    covariance_apply(phis, z, l, q_cols);
+    orthonormalize_columns(q_cols);
+    for (std::size_t it = 0; it < options.power_iterations; ++it) {
+      data_times_basis(phis, q_cols, z);
+      covariance_apply(phis, z, l, q_cols);
+      orthonormalize_columns(q_cols);
+    }
+  }
+
+  // Rayleigh–Ritz: B = Q^T C Q = (A Q)^T (A Q) / N, then the small m×m
+  // eigensolve recovers the eigenpairs inside the captured subspace.
+  linalg::SymmetricEigenResult eig;
+  {
+    PROF_ZONE(kTrainEigensolve);
+    std::vector<std::vector<double>> w;
+    data_times_basis(phis, q_cols, w);
+    Matrix b(m, m, 0.0);
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i; j < m; ++j) {
+        double acc = 0.0;
+        for (std::size_t a = 0; a < n; ++a) acc += w[a][i] * w[a][j];
+        acc *= inv_n;
+        b(i, j) = acc;
+        b(j, i) = acc;
+      }
+    }
+    eig = linalg::eigen_symmetric(b);
+  }
+
+  // The m Ritz values are the best available spectrum estimate; the trace
+  // (exact) anchors variance_explained. spectrum_ keeps all m so that
+  // from_parts-style invariants (spectrum ≥ retained) hold downstream.
+  em.spectrum_ = eig.eigenvalues;
+  for (double& v : em.spectrum_) v = std::max(v, 0.0);
+  em.total_variance_ = trace;
+
+  em.eigenvalues_.assign(
+      em.spectrum_.begin(),
+      em.spectrum_.begin() + static_cast<std::ptrdiff_t>(keep));
+  em.basis_ = Matrix(keep, l, 0.0);
+  // U = Q V: rotate the orthonormal range onto the Ritz vectors. Rows are
+  // independent — parallel over k; each element is a fixed j-ascending sum.
+  parallel_for(keep, 1, [&](std::size_t k0, std::size_t k1) {
+    for (std::size_t k = k0; k < k1; ++k) {
+      auto urow = em.basis_.row(k);
+      for (std::size_t j = 0; j < m; ++j) {
+        const double vjk = eig.eigenvectors(j, k);
+        if (vjk == 0.0) continue;
+        const auto& qcol = q_cols[j];
+        for (std::size_t i = 0; i < l; ++i) urow[i] += vjk * qcol[i];
+      }
+      linalg::normalize(urow);
+    }
+  });
+  obs::Registry::instance()
+      .gauge("core.pca.components_retained",
+             "eigenmemories kept by the most recent fit")
+      .set(static_cast<double>(keep));
+  obs::Registry::instance()
+      .gauge("core.pca.variance_explained",
+             "variance fraction captured by the retained eigenmemories")
+      .set(em.variance_explained());
+  return em;
+}
+
+Eigenmemory Eigenmemory::fit_topk(const HeatMapTrace& maps,
+                                  const TopkOptions& options) {
+  std::vector<std::vector<double>> raw;
+  raw.reserve(maps.size());
+  for (const auto& m : maps) raw.push_back(m.as_vector());
+  return fit_topk(raw, options);
 }
 
 void Eigenmemory::project_into(std::span<const double> map,

@@ -47,6 +47,39 @@ class Eigenmemory {
     return fit(maps, Options{});
   }
 
+  struct TopkOptions {
+    /// Number of eigenmemories to keep. Must be > 0 and ≤ min(N, L) —
+    /// unlike fit(), the truncated path has no variance-target mode.
+    std::size_t components = 0;
+    /// Extra subspace columns carried through the randomized iteration
+    /// (Halko et al. oversampling); the final basis drops them.
+    std::size_t oversample = 8;
+    /// Subspace (power) iterations: each multiplies the spectral gap's
+    /// effect by λ_{k+1}/λ_k, so a handful suffice for heat-map spectra.
+    std::size_t power_iterations = 6;
+    /// Largest N for which the N×N Gram eigensolve is used instead of the
+    /// randomized path (the Gram route is exact; the cube of this bound is
+    /// the cost ceiling accepted for exactness).
+    std::size_t gram_limit = 1024;
+    /// Seed for the Gaussian test matrix Ω. Fixed default keeps retrains
+    /// reproducible; results are deterministic at any MHM_THREADS either way.
+    std::uint64_t seed = 20150607;
+  };
+
+  /// Truncated top-k fit for the (re)training path: never forms the L×L
+  /// covariance or runs the full eigensolve. Picks between two routes —
+  /// the exact Turk–Pentland Gram eigendecomposition (N×N) when N < L and
+  /// N ≤ gram_limit, and randomized subspace iteration with oversampling
+  /// (Halko–Martinsson–Tropp) on the N×L data matrix otherwise. The
+  /// returned basis spans the same top-k eigenspace as fit() up to
+  /// round-off / iteration tolerance (the cross-check tests pin principal
+  /// angles against the exact solver). Deterministic at any MHM_THREADS.
+  /// Throws ConfigError when components is 0 or exceeds min(N, L).
+  static Eigenmemory fit_topk(const std::vector<std::vector<double>>& training,
+                              const TopkOptions& options);
+  static Eigenmemory fit_topk(const HeatMapTrace& maps,
+                              const TopkOptions& options);
+
   /// Project one raw MHM into the reduced space (length L' weights).
   std::vector<double> project(const std::vector<double>& map) const;
   std::vector<double> project(const HeatMap& map) const;

@@ -111,6 +111,12 @@ void StreamObserver::rebind(const ModelSnapshot& snapshot) {
   health_ = build_health(snapshot, options_);
 }
 
+void StreamObserver::annotate_next(std::string note) {
+  std::lock_guard<std::mutex> lk(note_mu_);
+  pending_note_ = std::move(note);
+  note_pending_.store(true, std::memory_order_release);
+}
+
 void StreamObserver::attach_incidents(
     const obs::IncidentOptions& options,
     std::shared_ptr<obs::IncidentStore> store) {
@@ -120,11 +126,11 @@ void StreamObserver::attach_incidents(
                    : nullptr;
 }
 
-void StreamObserver::record(const ModelSnapshot& snapshot,
-                            const Verdict& verdict,
-                            std::span<const double> raw,
-                            std::span<const double> reduced) {
-  if (!obs::enabled()) return;
+obs::ModelHealthStatus StreamObserver::record(const ModelSnapshot& snapshot,
+                                              const Verdict& verdict,
+                                              std::span<const double> raw,
+                                              std::span<const double> reduced) {
+  if (!obs::enabled()) return obs::ModelHealthStatus::kOk;
   obs::mark_analysis();
   DetectorMetrics& m = detector_metrics();
   m.intervals.add();
@@ -184,6 +190,13 @@ void StreamObserver::record(const ModelSnapshot& snapshot,
   // vectors trade buffers with the evicted ring slot instead of
   // allocating — the append path is allocation-free in steady state.
   thread_local obs::DecisionRecord rec;
+  rec.note.clear();
+  if (note_pending_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(note_mu_);
+    rec.note = std::move(pending_note_);
+    pending_note_.clear();
+    note_pending_.store(false, std::memory_order_release);
+  }
   rec.interval_index = verdict.interval_index;
   rec.phase = verdict.interval_index % phases_;
   rec.reduced_coords.assign(reduced.begin(), reduced.end());
@@ -229,6 +242,7 @@ void StreamObserver::record(const ModelSnapshot& snapshot,
   // rate-limited .mhmdump on disk. One relaxed load while unarmed.
   obs::FlightRecorder::instance().note_interval(raw, verdict.interval_index,
                                                 verdict.anomalous);
+  return status;
 }
 
 }  // namespace mhm

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/snapshot.hpp"
@@ -13,6 +16,7 @@ namespace mhm::obs {
 class Counter;
 class Gauge;
 class Histogram;
+enum class ModelHealthStatus;
 class ModelHealthMonitor;
 class ScoreHistory;
 }  // namespace mhm::obs
@@ -77,9 +81,14 @@ class StreamObserver {
   /// scatter passes SoA column gathers; nothing is re-scored) — they are
   /// copied where retained, never stored as views. No-op while observability
   /// is disabled. Thread-safe: the façade shares one observer across
-  /// concurrent scenario threads.
-  void record(const ModelSnapshot& snapshot, const Verdict& verdict,
-              std::span<const double> raw, std::span<const double> reduced);
+  /// concurrent scenario threads. Returns the model-health verdict for this
+  /// interval (kOk when no monitor is attached or observability is off) so
+  /// callers — the engine's clean-interval reservoir — can gate on it
+  /// without a second lock acquisition on the monitor.
+  obs::ModelHealthStatus record(const ModelSnapshot& snapshot,
+                                const Verdict& verdict,
+                                std::span<const double> raw,
+                                std::span<const double> reduced);
 
   /// Rebuild the model-health monitor against a new snapshot (hot model
   /// swap): the health baseline always belongs to the model being scored
@@ -112,6 +121,13 @@ class StreamObserver {
     return incidents_;
   }
 
+  /// Stamp `note` onto the next recorded interval's journal record
+  /// (one-shot; a pending note is replaced). Thread-safe — the retrain
+  /// loop annotates from its worker thread while the scoring thread keeps
+  /// recording; the hot path pays one relaxed atomic load while no note is
+  /// pending.
+  void annotate_next(std::string note);
+
   std::size_t phases() const { return phases_; }
 
   /// The process-wide `detector.analysis_ns` registry histogram — every
@@ -136,6 +152,9 @@ class StreamObserver {
   std::shared_ptr<obs::ModelHealthMonitor> health_;
   std::shared_ptr<obs::ScoreHistory> history_;
   std::shared_ptr<obs::IncidentRecorder> incidents_;
+  std::atomic<bool> note_pending_{false};
+  std::mutex note_mu_;       ///< Guards pending_note_ when the flag is set.
+  std::string pending_note_;
 };
 
 }  // namespace mhm

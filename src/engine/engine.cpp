@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/model_health.hpp"
 #include "obs/prof.hpp"
 
 namespace mhm::engine {
@@ -96,6 +97,9 @@ Session::Session(std::shared_ptr<detail::EngineShared> shared,
   obs_options.history_fold = options.history_fold;
   obs_options.history_tiers = options.history_tiers;
   observer_ = std::make_unique<StreamObserver>(*snap_, obs_options);
+  if (options.clean_window_capacity > 0) {
+    window_ = std::make_shared<NormalWindow>(options.clean_window_capacity);
+  }
 }
 
 void Session::refresh_model(std::uint64_t interval_index) {
@@ -128,7 +132,12 @@ Verdict Session::analyze(std::span<const double> raw,
   const Verdict v = score_snapshot(*snap_, raw, interval_index, scratch_);
   {
     PROF_ZONE(kScoreObserve);
-    observer_->record(*snap_, v, raw, scratch_.reduced);
+    const obs::ModelHealthStatus status =
+        observer_->record(*snap_, v, raw, scratch_.reduced);
+    if (window_ != nullptr) {
+      window_->offer(raw, interval_index, v.anomalous, status);
+    }
+    if (status_hook_) status_hook_(interval_index, status);
   }
   return v;
 }
@@ -202,7 +211,12 @@ void DetectionEngine::analyze_shard(std::span<Session* const> sessions,
     Session& s = *sessions[i];
     const Verdict v = workspace.batch.verdict(i);
     workspace.batch.extract_reduced(i, s.scratch_.reduced);
-    s.observer_->record(*s.snap_, v, raws[i], s.scratch_.reduced);
+    const obs::ModelHealthStatus status =
+        s.observer_->record(*s.snap_, v, raws[i], s.scratch_.reduced);
+    if (s.window_ != nullptr) {
+      s.window_->offer(raws[i], interval_indices[i], v.anomalous, status);
+    }
+    if (s.status_hook_) s.status_hook_(interval_indices[i], status);
     if (verdicts != nullptr) verdicts->push_back(v);
   }
 }

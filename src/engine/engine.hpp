@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -9,6 +10,7 @@
 
 #include "core/snapshot.hpp"
 #include "core/stream_observer.hpp"
+#include "engine/normal_window.hpp"
 #include "engine/source.hpp"
 
 namespace mhm::engine {
@@ -47,6 +49,10 @@ struct SessionOptions {
   std::size_t history_bins = 128;
   std::size_t history_fold = 8;
   std::size_t history_tiers = 2;
+  /// Clean-interval reservoir (engine/normal_window): rows the session
+  /// retains for the continuous-retrain loop. 0 keeps no window — the
+  /// default; only retrain-enabled deployments pay the capacity × L bound.
+  std::size_t clean_window_capacity = 0;
 
   /// Memory-bounded defaults for fleet-scale sessions: a short journal, no
   /// sparkline history, no raw-row copies, a handful of transition events,
@@ -127,6 +133,31 @@ class Session {
   std::shared_ptr<obs::IncidentRecorder> incident_recorder() const {
     return observer_->incident_recorder();
   }
+  /// Stamp a one-shot note onto the next journal record (see
+  /// StreamObserver::annotate_next) — the retrain loop marks publishes.
+  void annotate_next(std::string note) {
+    observer_->annotate_next(std::move(note));
+  }
+
+  /// Clean-interval reservoir (null unless clean_window_capacity > 0):
+  /// every analyzed interval that raised no alarm and was judged OK by
+  /// model health lands here — the retrain loop's training pantry.
+  std::shared_ptr<NormalWindow> clean_window() const { return window_; }
+  /// Copies of the newest `n` clean intervals (oldest first; n = 0 → all
+  /// held). Empty when no window is attached.
+  std::vector<std::vector<double>> last_clean(std::size_t n = 0) const {
+    return window_ != nullptr ? window_->last(n)
+                              : std::vector<std::vector<double>>{};
+  }
+
+  /// Per-interval health tap: called after each interval is recorded with
+  /// (interval_index, model-health status). The retrain loop's drift
+  /// counter feeds off this — wire it to RetrainManager::note. Runs on the
+  /// scoring thread; keep it cheap.
+  void set_status_hook(
+      std::function<void(std::uint64_t, obs::ModelHealthStatus)> hook) {
+    status_hook_ = std::move(hook);
+  }
 
  private:
   friend class DetectionEngine;
@@ -140,6 +171,8 @@ class Session {
   std::uint64_t epoch_ = 0;
   ScoreScratch scratch_;
   std::unique_ptr<StreamObserver> observer_;
+  std::shared_ptr<NormalWindow> window_;  ///< Null unless configured.
+  std::function<void(std::uint64_t, obs::ModelHealthStatus)> status_hook_;
   std::vector<ModelTransition> transitions_;
 };
 

@@ -1,0 +1,83 @@
+#include "engine/normal_window.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mhm::engine {
+
+NormalWindow::NormalWindow(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw ConfigError("NormalWindow: capacity must be > 0");
+  }
+  rows_.resize(capacity);
+  intervals_.resize(capacity, 0);
+}
+
+bool NormalWindow::offer(std::span<const double> raw,
+                         std::uint64_t interval_index, bool alarm,
+                         obs::ModelHealthStatus status) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (alarm || status != obs::ModelHealthStatus::kOk) {
+    ++rejected_;
+    return false;
+  }
+  // Slot vectors keep their capacity across wraps: steady state is one
+  // memcpy per clean interval, no allocation.
+  rows_[next_].assign(raw.begin(), raw.end());
+  intervals_[next_] = interval_index;
+  next_ = (next_ + 1) % capacity_;
+  size_ = std::min(size_ + 1, capacity_);
+  ++accepted_;
+  return true;
+}
+
+std::size_t NormalWindow::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return size_;
+}
+
+std::uint64_t NormalWindow::accepted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return accepted_;
+}
+
+std::uint64_t NormalWindow::rejected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_;
+}
+
+std::vector<std::vector<double>> NormalWindow::last(std::size_t n) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t take = n == 0 ? size_ : std::min(n, size_);
+  std::vector<std::vector<double>> out;
+  out.reserve(take);
+  // Oldest of the newest `take`: walk the ring forward from there.
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t slot =
+        (next_ + capacity_ - take + i) % capacity_;
+    out.push_back(rows_[slot]);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> NormalWindow::last_intervals(std::size_t n) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t take = n == 0 ? size_ : std::min(n, size_);
+  std::vector<std::uint64_t> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t slot =
+        (next_ + capacity_ - take + i) % capacity_;
+    out.push_back(intervals_[slot]);
+  }
+  return out;
+}
+
+void NormalWindow::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_ = 0;
+  next_ = 0;
+}
+
+}  // namespace mhm::engine

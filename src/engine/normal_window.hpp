@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "obs/model_health.hpp"
+
+namespace mhm::engine {
+
+/// Bounded reservoir of recent *clean* intervals — the training pantry the
+/// retrain loop cooks from. An interval enters only when the scoring
+/// verdict raised no alarm AND the model-health monitor judged the stream
+/// OK at that moment (DRIFTING / MISCALIBRATED intervals are refused, as
+/// is everything the detector flagged — the policy never learns from
+/// traffic it could not vouch for). The ring holds the newest `capacity`
+/// accepted rows; older ones are overwritten in place, so the memory bound
+/// is capacity × L doubles regardless of stream length.
+///
+/// Thread-safe: the scoring session appends while a background retrain
+/// thread snapshots — both sides take the same mutex, and `last()` returns
+/// copies, never views into the ring.
+class NormalWindow {
+ public:
+  explicit NormalWindow(std::size_t capacity);
+
+  /// Offer one scored interval. Returns true when the row was retained.
+  bool offer(std::span<const double> raw, std::uint64_t interval_index,
+             bool alarm, obs::ModelHealthStatus status);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  /// Total rows ever retained / refused (monotonic).
+  std::uint64_t accepted() const;
+  std::uint64_t rejected() const;
+
+  /// Copies of the newest `n` clean rows, oldest first (n = 0 → all held).
+  std::vector<std::vector<double>> last(std::size_t n = 0) const;
+  /// Interval indices parallel to last(), oldest first.
+  std::vector<std::uint64_t> last_intervals(std::size_t n = 0) const;
+
+  /// Drop every held row (the retrain loop clears after a publish so the
+  /// next candidate trains on post-swap behaviour only).
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<double>> rows_;      ///< Ring slots (reused).
+  std::vector<std::uint64_t> intervals_;       ///< Parallel ring slots.
+  std::size_t next_ = 0;                       ///< Ring write cursor.
+  std::size_t size_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace mhm::engine

@@ -273,6 +273,7 @@ FleetSnapshot FleetAggregator::snapshot() const {
   FleetSnapshot snap;
   snap.devices = device_count();
   snap.shards = shard_count();
+  snap.model_version = model_version_.load(std::memory_order_relaxed);
   snap.prof_source = obs::prof::counter_source();
   snap.shard_summaries.reserve(shards_.size());
 
@@ -357,7 +358,9 @@ std::string fleet_json(const FleetSnapshot& snapshot) {
   os << "{\"devices\":" << snapshot.devices
      << ",\"shards\":" << snapshot.shards
      << ",\"intervals\":" << snapshot.intervals
-     << ",\"alarms\":" << snapshot.alarms << ",\"rollup\":{\"ok\":"
+     << ",\"alarms\":" << snapshot.alarms
+     << ",\"model_version\":" << snapshot.model_version
+     << ",\"rollup\":{\"ok\":"
      << snapshot.devices_ok << ",\"drifting\":" << snapshot.devices_drifting
      << ",\"miscalibrated\":" << snapshot.devices_miscalibrated
      << "},\"intervals_per_sec\":" << json_num(snapshot.intervals_per_sec)

@@ -67,6 +67,9 @@ struct FleetSnapshot {
   std::size_t shards = 0;
   std::uint64_t intervals = 0;
   std::uint64_t alarms = 0;
+  /// Version of the shared model every device session scores against —
+  /// a fleet-wide hot-swap (continuous retraining) is visible here.
+  std::uint64_t model_version = 0;
   std::uint64_t devices_ok = 0;
   std::uint64_t devices_drifting = 0;
   std::uint64_t devices_miscalibrated = 0;
@@ -144,6 +147,12 @@ class FleetAggregator {
   void fold_shard(std::size_t shard, std::span<const std::uint8_t> statuses,
                   double elapsed_seconds);
 
+  /// Stamp the model version snapshots report (any thread; the runner sets
+  /// it at engine creation and again after any hot-swap).
+  void set_model_version(std::uint64_t version) {
+    model_version_.store(version, std::memory_order_relaxed);
+  }
+
   /// Assemble the fleet-wide view (any thread).
   FleetSnapshot snapshot() const;
 
@@ -166,6 +175,8 @@ class FleetAggregator {
   /// Interval of the device's last incident mark (kNeverMarked until the
   /// first); gates marks to one per incident_gap. Owner-side.
   std::vector<std::uint64_t> last_mark_;
+
+  std::atomic<std::uint64_t> model_version_{0};
 
   std::vector<std::unique_ptr<Shard>> shards_;
 };

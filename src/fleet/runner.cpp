@@ -166,6 +166,7 @@ FleetRunner::FleetRunner(FleetSpec spec,
   for (const auto& a : archetypes_) names.push_back(a.name);
   aggregator_ = std::make_unique<FleetAggregator>(
       spec_, std::move(names), archetype_of_, shard_of_begin_);
+  aggregator_->set_model_version(engine_->model_version());
 }
 
 FleetRunner::~FleetRunner() = default;

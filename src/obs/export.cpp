@@ -153,7 +153,11 @@ std::string decision_json(const DecisionRecord& r) {
        << ",\"expected\":" << json_number(c.expected)
        << ",\"z\":" << json_number(c.z_score) << "}";
   }
-  os << "]}";
+  os << "]";
+  if (!r.note.empty()) {
+    os << ",\"note\":\"" << json_escape(r.note) << "\"";
+  }
+  os << "}";
   return os.str();
 }
 

@@ -44,6 +44,11 @@ struct DecisionRecord {
   /// Top deviating cells (|z| descending). Filled only for alarms, and only
   /// when the detector carries a per-cell training baseline.
   std::vector<CellContribution> top_cells;
+  /// Free-form annotation ("" for ordinary intervals). The retrain loop
+  /// stamps the first post-publish record so the journal shows *why* the
+  /// version flipped; serialized only when non-empty, so existing journal
+  /// consumers see byte-identical lines for unannotated records.
+  std::string note;
 };
 
 /// Thread-safe bounded ring of DecisionRecords (oldest overwritten).

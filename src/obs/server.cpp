@@ -47,6 +47,7 @@ void MonitorServer::set_model_health(
 void MonitorServer::set_history(std::shared_ptr<const ScoreHistory>) {}
 void MonitorServer::set_incidents(std::shared_ptr<const IncidentStore>) {}
 void MonitorServer::set_fleet(std::function<std::string()>) {}
+void MonitorServer::set_retrain(std::function<std::string()>) {}
 MonitorServer& MonitorServer::instance() {
   static MonitorServer* server = new MonitorServer();
   return *server;
@@ -181,6 +182,7 @@ struct MonitorServer::Impl {
   std::shared_ptr<const ScoreHistory> history;
   std::shared_ptr<const IncidentStore> incidents;
   std::function<std::string()> fleet;
+  std::function<std::string()> retrain;
 
   Counter& requests = Registry::instance().counter(
       "obs.server.requests", "HTTP requests handled by the monitor endpoint");
@@ -351,17 +353,26 @@ void MonitorServer::Impl::respond(int fd, const std::string& target) {
   }
   if (path == "/model") {
     std::shared_ptr<const ModelHealthMonitor> monitor;
+    std::function<std::string()> retrain_provider;
     {
       std::lock_guard<std::mutex> lk(journal_mu);
       monitor = model_health;
+      retrain_provider = retrain;
     }
     if (monitor == nullptr) {
       send_response(fd, 404, "Not Found", "text/plain",
                     "no model-health monitor attached\n");
       return;
     }
-    send_response(fd, 200, "OK", "application/json",
-                  model_health_json(monitor->snapshot()) + "\n");
+    std::string body = model_health_json(monitor->snapshot());
+    if (retrain_provider) {
+      // Merge the retrain object into the health JSON by replacing the
+      // closing brace — the body stays one object, existing consumers keep
+      // parsing, and new ones find the `retrain` key.
+      body.pop_back();
+      body += ",\"retrain\":" + retrain_provider() + "}";
+    }
+    send_response(fd, 200, "OK", "application/json", body + "\n");
     return;
   }
   if (path == "/fleet") {
@@ -554,6 +565,11 @@ void MonitorServer::set_incidents(
 void MonitorServer::set_fleet(std::function<std::string()> provider) {
   std::lock_guard<std::mutex> lk(impl_->journal_mu);
   impl_->fleet = std::move(provider);
+}
+
+void MonitorServer::set_retrain(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lk(impl_->journal_mu);
+  impl_->retrain = std::move(provider);
 }
 
 MonitorServer& MonitorServer::instance() {

@@ -95,6 +95,13 @@ class MonitorServer {
   /// only touches folded state behind its own per-shard locks.
   void set_fleet(std::function<std::string()> provider);
 
+  /// JSON-object provider merged into the /model body under a `"retrain"`
+  /// key (the RetrainManager's json()); same attach/detach semantics as
+  /// set_journal. The provider runs on the serve thread and must be
+  /// thread-safe. With no model-health monitor attached, /model still
+  /// answers 404 — retrain state without a health stream is meaningless.
+  void set_retrain(std::function<std::string()> provider);
+
   /// The process-wide server used by the MHM_OBS_PORT autostart.
   static MonitorServer& instance();
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "linalg/vector_ops.hpp"
 #include "test_util.hpp"
@@ -232,6 +233,136 @@ TEST(Eigenmemory, ConstantDataHasZeroVariance) {
   const auto w = em.project(data.front());
   EXPECT_NEAR(w[0], 0.0, 1e-12);
   EXPECT_DOUBLE_EQ(em.variance_explained(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// fit_topk cross-check: the fast top-k paths (Gram trick for small N,
+// randomized subspace iteration for large N) must agree with the exact
+// full-eigensolve oracle on the retained subspace. Agreement is measured
+// basis-free: principal angles between the two k-dimensional subspaces
+// (via projection residuals), plus eigenvalue / explained-variance drift.
+// The exact solver stays wired in as the oracle here — tier-1 runs this.
+
+/// sin of the largest principal angle between span(exact rows) and
+/// span(fast rows): for each oracle direction u, project onto the fast
+/// subspace and measure what is lost.
+double max_principal_angle_sin(const Eigenmemory& exact,
+                               const Eigenmemory& fast, std::size_t k) {
+  double worst = 0.0;
+  for (std::size_t a = 0; a < k; ++a) {
+    const auto u = exact.basis().row(a);
+    double captured = 0.0;
+    for (std::size_t b = 0; b < k; ++b) {
+      const double c = linalg::dot(u, fast.basis().row(b));
+      captured += c * c;
+    }
+    const double s2 = std::max(0.0, 1.0 - captured);
+    worst = std::max(worst, std::sqrt(s2));
+  }
+  return worst;
+}
+
+struct TopkCase {
+  std::size_t n;
+  std::size_t dim;
+};
+
+class EigenmemoryTopkCrossCheck : public ::testing::TestWithParam<TopkCase> {};
+
+TEST_P(EigenmemoryTopkCrossCheck, MatchesExactSolverOnTopkSubspace) {
+  const auto [n, dim] = GetParam();
+  constexpr std::size_t kRank = 9;
+  const auto data = subspace_data(n, dim, kRank, 0.05, 20150607);
+
+  Eigenmemory::Options exact_opts;
+  exact_opts.components = kRank;
+  exact_opts.allow_gram_trick = false;  // the oracle: full L×L eigensolve
+  const auto exact = Eigenmemory::fit(data, exact_opts);
+
+  Eigenmemory::TopkOptions fast_opts;
+  fast_opts.components = kRank;
+  const auto fast = Eigenmemory::fit_topk(data, fast_opts);
+
+  ASSERT_EQ(fast.components(), kRank);
+  EXPECT_EQ(fast.input_dim(), dim);
+
+  // Same top-k subspace: every principal angle below tolerance.
+  EXPECT_LT(max_principal_angle_sin(exact, fast, kRank), 1e-6);
+
+  // Eigenvalues and explained variance track the oracle.
+  for (std::size_t k = 0; k < kRank; ++k) {
+    EXPECT_NEAR(fast.eigenvalues()[k], exact.eigenvalues()[k],
+                1e-6 * (1.0 + exact.eigenvalues()[k]))
+        << "eigenvalue " << k;
+  }
+  EXPECT_NEAR(fast.variance_explained(kRank), exact.variance_explained(kRank),
+              1e-6);
+
+  // Projections agree up to per-direction sign (the eigensolvers are free
+  // to flip any axis).
+  const auto we = exact.project(data.front());
+  const auto wf = fast.project(data.front());
+  for (std::size_t k = 0; k < kRank; ++k) {
+    EXPECT_NEAR(std::abs(wf[k]), std::abs(we[k]),
+                1e-6 * (1.0 + std::abs(we[k])))
+        << "projection weight " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SampleCounts, EigenmemoryTopkCrossCheck,
+    ::testing::Values(TopkCase{50, 256},    // N < L, small: Gram route
+                      TopkCase{500, 640},   // N < L, mid: Gram route
+                      TopkCase{5000, 256}), // N > L: randomized route
+    [](const ::testing::TestParamInfo<TopkCase>& info) {
+      return "n" + std::to_string(info.param.n) + "d" +
+             std::to_string(info.param.dim);
+    });
+
+TEST(EigenmemoryTopk, DeterministicAcrossThreadCounts) {
+  const auto data = subspace_data(1200, 96, 6, 0.1, 77);
+  Eigenmemory::TopkOptions opts;
+  opts.components = 6;
+  set_global_threads(1);
+  const auto serial = Eigenmemory::fit_topk(data, opts);
+  set_global_threads(4);
+  const auto parallel = Eigenmemory::fit_topk(data, opts);
+  set_global_threads(0);
+  ASSERT_EQ(serial.components(), parallel.components());
+  for (std::size_t k = 0; k < serial.components(); ++k) {
+    EXPECT_EQ(serial.eigenvalues()[k], parallel.eigenvalues()[k]);
+    const auto a = serial.basis().row(k);
+    const auto b = parallel.basis().row(k);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "basis(" << k << "," << i << ")";
+    }
+  }
+}
+
+TEST(EigenmemoryTopk, RejectsDegenerateRequests) {
+  const auto data = subspace_data(40, 16, 3, 0.1, 13);
+  Eigenmemory::TopkOptions opts;
+  opts.components = 0;
+  EXPECT_THROW(Eigenmemory::fit_topk(data, opts), ConfigError);
+  opts.components = 17;  // > min(N, L) = 16
+  EXPECT_THROW(Eigenmemory::fit_topk(data, opts), ConfigError);
+  EXPECT_THROW(
+      Eigenmemory::fit_topk(std::vector<std::vector<double>>{}, opts),
+      ConfigError);
+}
+
+TEST(EigenmemoryTopk, RandomizedBasisRowsAreOrthonormal) {
+  // N > gram_limit forces the randomized route even with N < L disabled.
+  const auto data = subspace_data(2000, 64, 5, 0.2, 14);
+  Eigenmemory::TopkOptions opts;
+  opts.components = 5;
+  const auto em = Eigenmemory::fit_topk(data, opts);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = 0; b < 5; ++b) {
+      const double d = linalg::dot(em.basis().row(a), em.basis().row(b));
+      EXPECT_NEAR(d, a == b ? 1.0 : 0.0, 1e-9) << "rows " << a << "," << b;
+    }
+  }
 }
 
 TEST(Eigenmemory, SpectrumIsFullLength) {

@@ -27,6 +27,9 @@ git_rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 # Absent in BENCH files written before the profiler existed.
 prof_pct=$(num prof_overhead_pct)
+# Absent before the fast top-k PCA path existed.
+pca_fast_s=$(num train_pca_fast_seconds)
+pca_speedup=$(num pca_speedup_vs_exact)
 
 # Drop any earlier row for this commit (grep -v exits 1 when everything
 # matches — an empty survivor set is fine).
@@ -35,11 +38,12 @@ if [ -f "$out" ]; then
   mv "$out.tmp" "$out"
 fi
 
-printf '{"date":"%s","git":"%s","mode":"%s","hardware_threads":%s,"best_train_speedup":%s,"analyze_mean_us":%s,"obs_overhead_pct":%s,"server_overhead_pct":%s,"model_health_overhead_pct":%s,"history_incident_overhead_pct":%s,"prof_overhead_pct":%s,"bit_identical":%s}\n' \
+printf '{"date":"%s","git":"%s","mode":"%s","hardware_threads":%s,"best_train_speedup":%s,"analyze_mean_us":%s,"obs_overhead_pct":%s,"server_overhead_pct":%s,"model_health_overhead_pct":%s,"history_incident_overhead_pct":%s,"prof_overhead_pct":%s,"train_pca_fast_seconds":%s,"pca_speedup_vs_exact":%s,"bit_identical":%s}\n' \
   "$stamp" "$git_rev" "${mode:-unknown}" \
   "$(num hardware_threads)" "$(num best_train_speedup)" \
   "${analyze_us:-0}" "$(num obs_overhead_pct)" \
   "$(num server_overhead_pct)" "$(num model_health_overhead_pct)" \
   "$(num history_incident_overhead_pct)" "${prof_pct:-0}" \
+  "${pca_fast_s:-0}" "${pca_speedup:-0}" \
   "$(num bit_identical)" >> "$out"
 echo "bench_trend: appended row to $out ($(wc -l < "$out") total)"

@@ -61,10 +61,24 @@
 //       density vs. threshold, and the cells that deviated most from the
 //       training baseline.
 //
+//   mhm_tool retrain --trace trace.mhmt --registry <dir> [--window N]
+//                    [--min-window N] [--components K] [--gmm J]
+//                    [--restarts R]
+//       Manual continuous-training trigger: load the latest registry
+//       version, replay the trace through an engine session (clean
+//       intervals land in the retrain window), run one train → validate →
+//       publish attempt with the fast top-k PCA path, and register the
+//       candidate as the next version. Prints the validation report
+//       (holdout alarm rate vs. Wilson bounds, median shift); exit 1 when
+//       a gate rejects the candidate.
+//
 //   mhm_tool serve   [--port P] [--scenarios N] [--attack name]
 //                    [--trigger-ms T] [--duration-ms D] [--seed X]
 //                    [--flight-dir DIR] [--linger-ms L] [--registry DIR]
-//                    [--incident-gap N]
+//                    [--incident-gap N] [--auto-retrain 0|1]
+//                    [--retrain-window N] [--retrain-sustain N]
+//                    [--retrain-cooldown N] [--retrain-min-window N]
+//                    [--mode-change-after S]
 //       Train a fast-scale detector, arm the flight recorder and the
 //       incident store (bundles land in --flight-dir), start the HTTP
 //       monitoring endpoint on 127.0.0.1:P (0 = ephemeral, printed at
@@ -74,6 +88,12 @@
 //       its version on every verdict and bundle (the handle `incidents
 //       replay` needs); --incident-gap shrinks the per-stream rate limit;
 //       --linger-ms keeps the endpoint up after the replays.
+//       --auto-retrain 1 scores through an engine session with a
+//       drift-triggered retrain → validate → hot-swap loop (state under
+//       /model's "retrain" key; publishes annotate the journal and leave
+//       a retrain_publish incident marker). --mode-change-after S makes
+//       every replay from index S on run with a persistent new background
+//       activity source — the environment drift the loop absorbs.
 //
 //   mhm_tool incidents list --dir <dir>
 //   mhm_tool incidents show --in <file.mhmi>
@@ -143,6 +163,7 @@
 #include "core/trace_io.hpp"
 #include "dashboard.hpp"
 #include "engine/engine.hpp"
+#include "engine/retrain.hpp"
 #include "engine/source.hpp"
 #include "fleet/runner.hpp"
 #include "hw/address_trace.hpp"
@@ -493,6 +514,84 @@ int cmd_replay(const std::string& trace_path, const Args& args) {
   return 0;
 }
 
+/// Manual retrain from a recorded trace: load the latest registry model,
+/// replay the trace through an engine session whose clean-interval window
+/// collects every vouched-for row, run one train → validate → publish
+/// attempt, and register the candidate as the next version. Exit 0 on
+/// publish, 1 on rejection (the report says which gate fired).
+int cmd_retrain(const Args& args) {
+  std::string trace_path;
+  std::string registry_dir;
+  if (!args.require("trace", &trace_path) ||
+      !args.require("registry", &registry_dir)) {
+    std::fprintf(stderr,
+                 "retrain: --trace <trace.mhmt> and --registry <dir> are "
+                 "required\n");
+    return 1;
+  }
+  auto registry = std::make_shared<ModelRegistry>(registry_dir);
+  const std::shared_ptr<const ModelSnapshot> snapshot =
+      registry->load_latest_snapshot();
+
+  engine::TraceReplaySource source =
+      engine::TraceReplaySource::from_file(trace_path);
+  if (source.maps().empty()) {
+    std::fprintf(stderr, "retrain: %s holds no heat maps\n",
+                 trace_path.c_str());
+    return 1;
+  }
+  if (source.maps().front().cell_count() != snapshot->pca.input_dim()) {
+    std::fprintf(stderr,
+                 "retrain: model expects %zu cells but the trace has %zu — "
+                 "it was recorded at a different granularity\n",
+                 snapshot->pca.input_dim(),
+                 source.maps().front().cell_count());
+    return 1;
+  }
+
+  engine::DetectionEngine engine(snapshot);
+  engine::SessionOptions so;
+  so.clean_window_capacity =
+      args.get_u64("window", source.maps().size());
+  engine::Session session = engine.new_session(so);
+  const std::vector<Verdict> verdicts = session.run(source);
+  std::size_t alarms = 0;
+  for (const auto& v : verdicts) alarms += v.anomalous;
+  const auto window = session.clean_window();
+  std::printf("replayed %zu intervals against model version %llu: %zu "
+              "alarms; clean window holds %zu rows\n",
+              verdicts.size(),
+              static_cast<unsigned long long>(snapshot->version), alarms,
+              window->size());
+
+  engine::RetrainManager::Options ro;
+  ro.background = false;
+  ro.min_window = args.get_u64("min-window", 96);
+  ro.components = args.get_u64("components", 0);
+  ro.gmm_components = args.get_u64("gmm", 0);
+  ro.gmm_restarts = args.get_u64("restarts", 4);
+  engine::RetrainManager manager(engine, window, registry, ro);
+  const engine::RetrainReport report =
+      manager.retrain_now(verdicts.back().interval_index);
+
+  std::printf("candidate: %zu train / %zu calibrate / %zu holdout rows\n",
+              report.train_rows, report.calibration_rows,
+              report.holdout_rows);
+  std::printf("validation: holdout alarm rate %.4f (expected p %.4f, "
+              "Wilson [%.4f, %.4f]), median shift %.3f log10\n",
+              report.holdout_alarm_rate, report.expected_p,
+              report.wilson_low, report.wilson_high, report.quantile_shift);
+  if (!report.accepted) {
+    std::printf("retrain rejected: %s (%.2f s)\n", report.reason.c_str(),
+                report.train_seconds);
+    return 1;
+  }
+  std::printf("retrain published as version %llu in %s (%.2f s)\n",
+              static_cast<unsigned long long>(report.version),
+              registry->directory().c_str(), report.train_seconds);
+  return 0;
+}
+
 int cmd_simulate(const Args& args) {
   sim::SystemConfig cfg = config_from(args);
   sim::System system(cfg);
@@ -654,10 +753,11 @@ int cmd_serve(const Args& args) {
   // `incidents replay` can reload for bit-identical re-scoring.
   std::optional<AnomalyDetector> versioned;
   AnomalyDetector* det = pipe.detector.get();
+  std::shared_ptr<ModelRegistry> registry;
   if (const auto registry_dir = args.get_optional("registry")) {
-    ModelRegistry registry(*registry_dir);
+    registry = std::make_shared<ModelRegistry>(*registry_dir);
     const std::uint64_t version =
-        registry.save(DetectorModel::from_detector(pipe.det()));
+        registry->save(DetectorModel::from_detector(pipe.det()));
     const std::shared_ptr<const ModelSnapshot> base = pipe.det().snapshot();
     versioned.emplace(AnomalyDetector::from_snapshot(
         ModelSnapshot::assemble(base->pca, base->gmm, base->calibrator,
@@ -665,13 +765,30 @@ int cmd_serve(const Args& args) {
     det = &*versioned;
     std::printf("model registered as version %llu in %s\n",
                 static_cast<unsigned long long>(version),
-                registry.directory().c_str());
+                registry->directory().c_str());
     std::fflush(stdout);
   }
 
+  // --auto-retrain 1 runs the replays through an engine session with a
+  // clean-interval reservoir and a background RetrainManager: sustained
+  // drift trains a candidate on the window, validates it, registers it
+  // (when --registry is set) and hot-swaps it into the live session. The
+  // plain path keeps scoring through the detector façade.
+  const bool auto_retrain = args.get_u64("auto-retrain", 0) != 0;
+  std::optional<engine::DetectionEngine> engine;
+  std::optional<engine::Session> session;
+  if (auto_retrain) {
+    engine.emplace(det->snapshot());
+    engine::SessionOptions so;
+    so.clean_window_capacity = args.get_u64("retrain-window", 512);
+    session.emplace(engine->new_session(so));
+  }
+
+  const auto live_journal =
+      session ? session->journal_ptr() : det->journal_ptr();
   obs::FlightRecorder::Options fr_opts;
   fr_opts.dir = args.get("flight-dir", ".");
-  if (!obs::FlightRecorder::instance().arm(fr_opts, det->journal_ptr())) {
+  if (!obs::FlightRecorder::instance().arm(fr_opts, live_journal)) {
     std::fprintf(stderr, "serve: cannot arm flight recorder in %s\n",
                  fr_opts.dir.c_str());
     return 1;
@@ -683,7 +800,11 @@ int cmd_serve(const Args& args) {
   auto incidents = std::make_shared<obs::IncidentStore>(inc_opts);
   obs::IncidentOptions inc_trigger;
   inc_trigger.min_gap = args.get_u64("incident-gap", inc_trigger.min_gap);
-  det->attach_incidents(inc_trigger, incidents);
+  if (session) {
+    session->attach_incidents(inc_trigger, incidents);
+  } else {
+    det->attach_incidents(inc_trigger, incidents);
+  }
 
   obs::MonitorServer server;
   obs::MonitorServer::Options srv_opts;
@@ -694,13 +815,56 @@ int cmd_serve(const Args& args) {
     obs::FlightRecorder::instance().disarm();
     return 1;
   }
-  server.set_journal(det->journal_ptr());
-  server.set_model_health(det->model_health());
-  server.set_history(det->score_history());
+  server.set_journal(live_journal);
+  server.set_model_health(session ? session->model_health()
+                                  : det->model_health());
+  server.set_history(session ? session->score_history()
+                             : det->score_history());
   server.set_incidents(incidents);
-  obs::FlightRecorder::instance().set_model_health(det->model_health());
+  obs::FlightRecorder::instance().set_model_health(
+      session ? session->model_health() : det->model_health());
   obs::FlightRecorder::instance().set_incidents(
       [incidents] { return incidents->dump_section(); });
+
+  // Retrain loop: drive the policy from the session's per-interval health
+  // verdicts; on publish, annotate the journal, drop a synthetic incident
+  // marker, and surface the state machine under /model's "retrain" key.
+  std::shared_ptr<engine::RetrainManager> manager;
+  if (auto_retrain) {
+    engine::RetrainManager::Options ro;
+    ro.sustain = args.get_u64("retrain-sustain", 32);
+    ro.cooldown = args.get_u64("retrain-cooldown", 128);
+    ro.min_window = args.get_u64("retrain-min-window", 96);
+    ro.gmm_restarts = 2;
+    manager = std::make_shared<engine::RetrainManager>(
+        *engine, session->clean_window(), registry, ro);
+    engine::Session* sess = &*session;
+    sess->set_status_hook(
+        [manager_raw = manager.get()](std::uint64_t interval,
+                                      obs::ModelHealthStatus status) {
+          manager_raw->note(interval, status);
+        });
+    manager->set_publish_hook([sess, incidents](
+                                  const engine::RetrainReport& r) {
+      sess->annotate_next("model auto-retrained: published version " +
+                          std::to_string(r.version));
+      obs::Incident marker;
+      marker.reason = "retrain_publish";
+      marker.detail = "v" + std::to_string(r.version) +
+                      " trained on " + std::to_string(r.train_rows) +
+                      " clean rows";
+      marker.trigger_interval = r.trigger_interval;
+      marker.model_version = r.version;
+      incidents->commit(std::move(marker));
+      std::printf("retrain: published model version %llu (%.2f s, "
+                  "holdout alarm rate %.4f)\n",
+                  static_cast<unsigned long long>(r.version),
+                  r.train_seconds, r.holdout_alarm_rate);
+      std::fflush(stdout);
+    });
+    server.set_retrain(
+        [manager_raw = manager.get()] { return manager_raw->json(); });
+  }
   // Continuous profiler: the stage zones are always live; the sampling
   // profiler additionally collects collapsed stacks for
   // /profile?format=collapsed while the endpoint is up.
@@ -718,7 +882,14 @@ int cmd_serve(const Args& args) {
   const SimTime trigger = args.get_u64("trigger-ms", 1000) * kMillisecond;
   const std::uint64_t seed = args.get_u64("seed", 42);
   const std::uint64_t scenarios = args.get_u64("scenarios", 3);
+  // --mode-change-after S: from replay S on, the simulated system gains a
+  // persistent new background activity source (device interrupts) — a
+  // behaviour change rather than an attack, the environment drift the
+  // auto-retrain loop exists to absorb. 0 = never.
+  const std::uint64_t mode_change_after =
+      args.get_u64("mode-change-after", 0);
   std::size_t alarms = 0;
+  std::uint64_t next_interval = 0;
   for (std::uint64_t s = 0; s < scenarios; ++s) {
     std::unique_ptr<attacks::AttackScenario> attack;
     // Alternate normal / attacked replays: the journal and the flight
@@ -726,18 +897,68 @@ int cmd_serve(const Args& args) {
     if (s % 2 == 1 && attack_name != "normal") {
       attack = attacks::make_scenario(attack_name);
     }
-    pipeline::ScenarioRun run = pipeline::run_scenario(
-        cfg, attack.get(), trigger, duration, det, seed + s);
-    for (const auto& v : run.verdicts) alarms += v.anomalous;
-    std::printf("replay %llu/%llu: '%s', %zu intervals, %zu alarms so far\n",
-                static_cast<unsigned long long>(s + 1),
-                static_cast<unsigned long long>(scenarios),
-                run.scenario.c_str(), run.verdicts.size(), alarms);
+    sim::SystemConfig run_cfg = cfg;
+    if (mode_change_after != 0 && s >= mode_change_after) {
+      // Busy device + slightly noisier services: a sustained environment
+      // change that shifts the score distribution enough to latch the
+      // drift detectors without alarming most intervals — alarmed rows
+      // never enter the retrain window, so a too-violent shift would
+      // starve the loop of new-mode training data.
+      run_cfg.device_irq_mean_period = 2 * kMillisecond;
+      run_cfg.jitter_scale = 1.25;
+    }
+    if (session) {
+      // Engine path: generate the maps detector-free and score them through
+      // the live session, so the retrain loop sees one continuous stream.
+      pipeline::ScenarioRun run = pipeline::run_scenario(
+          run_cfg, attack.get(), trigger, duration, nullptr, seed + s);
+      std::size_t run_alarms = 0;
+      for (const auto& m : run.maps) {
+        const Verdict v = session->analyze(m.as_vector(), next_interval++);
+        run_alarms += v.anomalous;
+      }
+      alarms += run_alarms;
+      // A publish rebinds the session's health monitor at the swap
+      // boundary; re-attach the live handle for /model and the recorder.
+      server.set_model_health(session->model_health());
+      obs::FlightRecorder::instance().set_model_health(
+          session->model_health());
+      std::printf("replay %llu/%llu: '%s', %zu intervals, %zu alarms so "
+                  "far; retrain %s, model v%llu\n",
+                  static_cast<unsigned long long>(s + 1),
+                  static_cast<unsigned long long>(scenarios),
+                  run.scenario.c_str(), run.maps.size(), alarms,
+                  engine::to_string(manager->state()),
+                  static_cast<unsigned long long>(session->model_version()));
+    } else {
+      pipeline::ScenarioRun run = pipeline::run_scenario(
+          run_cfg, attack.get(), trigger, duration, det, seed + s);
+      for (const auto& v : run.verdicts) alarms += v.anomalous;
+      std::printf("replay %llu/%llu: '%s', %zu intervals, %zu alarms so "
+                  "far\n",
+                  static_cast<unsigned long long>(s + 1),
+                  static_cast<unsigned long long>(scenarios),
+                  run.scenario.c_str(), run.verdicts.size(), alarms);
+    }
+    std::fflush(stdout);
+  }
+  if (manager != nullptr) {
+    manager->drain();
+    server.set_model_health(session->model_health());
+    obs::FlightRecorder::instance().set_model_health(
+        session->model_health());
+    std::printf("retrain loop: %llu published, %llu rejected, state %s, "
+                "serving model version %llu\n",
+                static_cast<unsigned long long>(manager->published()),
+                static_cast<unsigned long long>(manager->rejected_count()),
+                engine::to_string(manager->state()),
+                static_cast<unsigned long long>(engine->model_version()));
     std::fflush(stdout);
   }
   std::printf("incidents: %llu committed\n",
               static_cast<unsigned long long>(incidents->total_committed()));
-  if (const auto health = det->model_health()) {
+  if (const auto health = session ? session->model_health()
+                                  : det->model_health()) {
     const obs::ModelHealthSnapshot snap = health->snapshot();
     std::printf("model health: %s (alarm rate %.4f, expected p %.4f)\n",
                 obs::to_string(snap.status), snap.alarm_rate, snap.expected_p);
@@ -1126,6 +1347,22 @@ void render_dashboard(const std::string& body,
                 num_field(body, "page_hinkley_lambda", drift_pos),
                 num_field(body, "q95", find_key(body, "spe")));
   os << line;
+  // Continuous-training loop (present only when serving --auto-retrain).
+  const std::size_t retrain_pos = find_key(body, "retrain");
+  if (retrain_pos != std::string::npos) {
+    const std::size_t win_pos = find_key(body, "window", retrain_pos);
+    std::snprintf(line, sizeof line,
+                  "retrain %s | published %.0f rejected %.0f | "
+                  "streak %.0f/%.0f | clean window %.0f/%.0f\n",
+                  str_field(body, "state", retrain_pos).c_str(),
+                  num_field(body, "published", retrain_pos),
+                  num_field(body, "rejected", retrain_pos),
+                  num_field(body, "drift_streak", retrain_pos),
+                  num_field(body, "sustain", retrain_pos),
+                  num_field(body, "size", win_pos),
+                  num_field(body, "capacity", win_pos));
+    os << line;
+  }
   os << incident_ticker(incidents_body);
 
   os << "components (arg-max occupancy share vs mixture weight):\n";
@@ -1476,8 +1713,10 @@ int cmd_fleet(const Args& args) {
 void usage() {
   std::fprintf(stderr,
                "usage: mhm_tool <train|record|ingest|inspect|monitor|replay"
-               "|simulate|metrics|journal|serve|watch|prof|fleet|dump"
+               "|retrain|simulate|metrics|journal|serve|watch|prof|fleet|dump"
                "|incidents> [--flag value]...\n"
+               "       mhm_tool retrain --trace <trace.mhmt> "
+               "--registry <dir>\n"
                "       mhm_tool replay <trace.mhmt> --model "
                "<file-or-registry-dir>\n"
                "       mhm_tool incidents list --dir <dir>\n"
@@ -1519,6 +1758,7 @@ int main(int argc, char** argv) {
     if (cmd == "ingest") return cmd_ingest(args);
     if (cmd == "inspect") return cmd_inspect(args);
     if (cmd == "monitor") return cmd_monitor(args);
+    if (cmd == "retrain") return cmd_retrain(args);
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "metrics") return cmd_metrics(args);
     if (cmd == "journal") return cmd_journal(args);
